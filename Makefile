@@ -1,0 +1,24 @@
+.PHONY: install test bench bench-tables eval examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+bench-tables:
+	pytest benchmarks/ --benchmark-only -s
+
+eval:
+	python -m repro.eval
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; \
+		python $$ex || exit 1; \
+	done
+
+all: test bench

@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (table, figure, or claim),
+prints the reproduced rows, and asserts the expected *shape* (who wins, by
+roughly what factor). Run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables.
+"""
+
+
+def emit(text: str) -> None:
+    """Print a reproduced artifact with a separator (visible under -s)."""
+    print()
+    print(text)

@@ -1,0 +1,26 @@
+"""E10: the eBPF->HDL compiler over a corpus, fusion ablation."""
+
+from conftest import emit
+
+from repro.eval.compiler import format_compiler, run_compiler
+
+
+def test_bench_compiler(benchmark):
+    rows = benchmark(run_compiler)
+    emit(format_compiler(rows))
+    # The verifier accepts exactly the safe programs.
+    for row in rows:
+        assert row.verified == row.expected_ok, row.name
+    compiled = [r for r in rows if r.verified]
+    # Fusion: never deeper, never more pipeline registers, sometimes
+    # strictly better — at a bounded f_max cost.
+    assert any(r.depth_fused < r.depth_unfused for r in compiled)
+    for row in compiled:
+        assert row.depth_fused <= row.depth_unfused
+        assert row.ffs_fused <= row.ffs_unfused
+        assert row.fmax_fused >= 0.7 * row.fmax_unfused
+        assert row.ii >= 1
+        # The warping passes never grow a program...
+        assert row.insns_after_opt <= row.insns_before_opt
+    # ...and genuinely shrink constant-heavy ones.
+    assert any(r.insns_after_opt < r.insns_before_opt for r in compiled)

@@ -1,0 +1,22 @@
+"""E8: the Corfu shared log on network-attached flash."""
+
+from conftest import emit
+
+from repro.eval.corfu import format_corfu, run_corfu
+
+
+def test_bench_corfu(benchmark):
+    points = benchmark.pedantic(
+        run_corfu,
+        kwargs={"client_counts": (1, 2, 4, 8), "appends_per_client": 25},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_corfu(points))
+    # Append throughput scales with concurrent clients (independent
+    # positions; flash dies absorb the parallelism).
+    throughputs = [p.throughput for p in points]
+    assert throughputs == sorted(throughputs)
+    assert throughputs[-1] > 4 * throughputs[0]
+    # Chain replication: the log survives losing the head replica.
+    assert all(p.failover_reads_ok for p in points)

@@ -1,0 +1,16 @@
+"""E1: the 5-10x volume and 4-8x energy-efficiency claims (paper §2)."""
+
+from conftest import emit
+
+from repro.eval.efficiency import format_efficiency, run_efficiency
+
+
+def test_bench_efficiency(benchmark):
+    report = benchmark(run_efficiency)
+    emit(format_efficiency(report))
+    # Paper: "approx. 230 Watts vs 1,600 Watts".
+    assert abs(report.hyperion_tdp_w - 230.0) < 1.0
+    assert abs(report.server_tdp_w - 1600.0) < 1.0
+    # Paper bands: 4-8x energy, 5-10x volume.
+    assert report.energy_in_band
+    assert report.volume_in_band

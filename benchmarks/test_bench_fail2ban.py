@@ -1,0 +1,19 @@
+"""E3: fail2ban middleware, Hyperion inline path vs CPU-centric server."""
+
+from conftest import emit
+
+from repro.eval.fail2ban import format_fail2ban, run_fail2ban
+
+
+def test_bench_fail2ban(benchmark):
+    results = benchmark.pedantic(
+        run_fail2ban, kwargs={"packet_count": 1500}, rounds=1, iterations=1
+    )
+    emit(format_fail2ban(results))
+    dpu, server = results
+    # Same verified program -> identical verdicts.
+    assert dpu.banned == server.banned
+    # Deleting interrupts/syscalls/copies/interpreter jitter must win by a
+    # clear integer factor (the paper's Amdahl argument).
+    assert server.total_time / dpu.total_time > 2.0
+    assert dpu.throughput_pps > server.throughput_pps

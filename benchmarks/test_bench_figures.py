@@ -1,0 +1,15 @@
+"""Figures 1 and 2: prototype bill of materials and schematic graph."""
+
+from conftest import emit
+
+from repro.eval.figures import FIGURE1_EXPECTED, format_figures, run_figures
+
+
+def test_bench_figures(benchmark):
+    report = benchmark.pedantic(run_figures, rounds=1, iterations=1)
+    emit(format_figures(report))
+    assert report.ok, report.mismatches
+    for key, expected in FIGURE1_EXPECTED.items():
+        assert report.inventory[key] == expected
+    assert report.end_to_end_path_ok  # QSFP -> slots -> NVMe without a CPU
+    assert report.config_path_ok

@@ -1,0 +1,82 @@
+"""Extension bench: graph traversal on network-attached storage (§4(2)).
+
+The paper's "killer workloads" discussion names graph analytics as a
+candidate. BFS generalizes the E2 pointer-chase shape from a chain of
+nodes to an expanding frontier: client-side traversal pays a round trip
+per expanded vertex, so the offload factor grows with graph size.
+"""
+
+from conftest import emit
+
+from repro.apps.graph import (
+    CsrGraph,
+    GraphService,
+    client_side_bfs,
+    offloaded_bfs,
+    random_graph,
+)
+from repro.dpu import HyperionDpu
+from repro.eval.report import Table
+from repro.hw.net import Network
+from repro.sim import Simulator
+from repro.transport import RpcClient, RpcServer, UdpSocket
+
+
+def run_graph_bfs(vertex_counts=(20, 80, 320)):
+    rows = []
+    for count in vertex_counts:
+        sim = Simulator()
+        net = Network(sim, propagation=10e-6)
+        dpu = HyperionDpu(sim, net, ssd_blocks=16384)
+        sim.run_process(dpu.boot())
+        graph = CsrGraph(dpu, count, random_graph(count))
+        GraphService(
+            sim, RpcServer(sim, UdpSocket(sim, net.endpoint("graph-dpu"))), graph
+        )
+        client = RpcClient(sim, UdpSocket(sim, net.endpoint("analyst")))
+        target = count - 2
+
+        def timed(fn):
+            start = sim.now
+
+            def proc():
+                distance, rtts = yield from fn(client, "graph-dpu", 0, target)
+                return sim.now - start, distance, rtts
+
+            return sim.run_process(proc())
+
+        chase_time, chase_distance, chase_rtts = timed(client_side_bfs)
+        offload_time, offload_distance, __ = timed(offloaded_bfs)
+        assert chase_distance == offload_distance
+        rows.append(
+            {
+                "vertices": count,
+                "edges": graph.edge_count,
+                "distance": chase_distance,
+                "chase_time": chase_time,
+                "chase_rtts": chase_rtts,
+                "offload_time": offload_time,
+                "speedup": chase_time / offload_time,
+            }
+        )
+    return rows
+
+
+def test_bench_graph(benchmark):
+    rows = benchmark.pedantic(run_graph_bfs, rounds=1, iterations=1)
+    table = Table(
+        "EXT: BFS over a DPU-resident CSR graph (killer-workload candidate)",
+        ["vertices", "edges", "hops", "client-side", "RTTs",
+         "offloaded", "speedup"],
+    )
+    for row in rows:
+        table.add_row(
+            row["vertices"], row["edges"], row["distance"],
+            f"{row['chase_time'] * 1e3:.2f} ms", row["chase_rtts"],
+            f"{row['offload_time'] * 1e3:.2f} ms", f"{row['speedup']:.0f}x",
+        )
+    emit(table.render())
+    speedups = [row["speedup"] for row in rows]
+    # The offload factor grows with the frontier (unlike E2's fixed height).
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 20

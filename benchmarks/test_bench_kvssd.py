@@ -1,0 +1,21 @@
+"""E12: the KV-SSD over specialized transports (Willow-style RPC)."""
+
+from conftest import emit
+
+from repro.eval.kvssd import format_kvssd, run_kvssd
+
+
+def test_bench_kvssd(benchmark):
+    points = benchmark.pedantic(
+        run_kvssd, kwargs={"operations": 60}, rounds=1, iterations=1
+    )
+    emit(format_kvssd(points))
+    by_name = {p.transport: p for p in points}
+    # Datagram transports beat TCP's per-segment ACK discipline on small ops.
+    assert by_name["udp"].mean_get < by_name["tcp"].mean_get
+    assert by_name["homa"].mean_get < by_name["tcp"].mean_get
+    # One-sided RDMA reads skip the KV request engine entirely.
+    assert by_name["rdma(read)"].mean_get < by_name["udp"].mean_get
+    # Puts are flash-bound everywhere (WAL program dominates).
+    put_times = [p.mean_put for p in points]
+    assert max(put_times) / min(put_times) < 1.5

@@ -1,0 +1,27 @@
+"""E4: the L4 load balancer with DRAM->SSD state overflow (ablation)."""
+
+from conftest import emit
+
+from repro.eval.loadbalancer import format_loadbalancer, run_loadbalancer
+
+
+def test_bench_loadbalancer(benchmark):
+    results = benchmark.pedantic(
+        run_loadbalancer,
+        kwargs={"packet_count": 3000, "flow_count": 500, "dram_entries": 64},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_loadbalancer(results))
+    overflow, drop = results
+    # Overflow keeps every returning flow on its backend; drop breaks flows.
+    assert overflow.broken_connections == 0
+    assert drop.broken_connections > 0
+    # The price of correctness: flash-latency cold hits.
+    assert overflow.cold_hits > 0
+    assert overflow.mean_latency > drop.mean_latency
+    # But the hot path still dominates (most packets never touch flash).
+    assert overflow.hot_hit_rate > 0.5
+    # The state that would have been lost is sitting on the DPU's own SSD.
+    assert overflow.flash_state_bytes > 0
+    assert drop.flash_state_bytes == 0

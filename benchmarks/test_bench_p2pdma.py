@@ -1,0 +1,35 @@
+"""Extension bench: NIC->SSD movement, bounce vs P2P DMA vs Hyperion (§2)."""
+
+from conftest import emit
+
+from repro.eval.p2pdma import format_p2pdma, run_p2pdma
+
+
+def test_bench_p2pdma(benchmark):
+    points = benchmark.pedantic(
+        run_p2pdma, kwargs={"sizes": (4096, 65536, 1 << 20), "transfers": 50},
+        rounds=1, iterations=1,
+    )
+    emit(format_p2pdma(points))
+    by_key = {(p.transfer_size, p.path): p for p in points}
+    # Small transfers: the serialized CPU coordination is the bottleneck,
+    # so removing it strictly orders the three paths.
+    small = 4096
+    assert (
+        by_key[(small, "hyperion")].goodput
+        > by_key[(small, "p2p-dma")].goodput
+        > by_key[(small, "bounce")].goodput
+    )
+    assert by_key[(small, "hyperion")].goodput > 1.5 * by_key[(small, "bounce")].goodput
+    # Large transfers: every path converges on the PCIe/flash bandwidth
+    # (the paper's point: P2P DMA helps data, not control).
+    large = 1 << 20
+    goodputs = [by_key[(large, path)].goodput
+                for path in ("bounce", "p2p-dma", "hyperion")]
+    assert max(goodputs) / min(goodputs) < 1.05
+    # Hyperion never loses at any size.
+    for size in (4096, 65536, 1 << 20):
+        assert by_key[(size, "hyperion")].per_transfer <= min(
+            by_key[(size, "bounce")].per_transfer,
+            by_key[(size, "p2p-dma")].per_transfer,
+        ) * 1.001

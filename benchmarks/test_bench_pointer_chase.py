@@ -1,0 +1,37 @@
+"""E2: disaggregated B+ tree pointer chasing, client-side vs offloaded."""
+
+from conftest import emit
+
+from repro.eval.pointer_chase import format_pointer_chase, run_pointer_chase
+
+
+def test_bench_pointer_chase(benchmark):
+    points = benchmark.pedantic(
+        run_pointer_chase,
+        kwargs={"key_counts": (16, 256, 4096), "propagations": (1e-6, 10e-6)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_pointer_chase(points))
+    # Offload always wins; client-side pays ~height RTTs.
+    for point in points:
+        assert point.offload_latency < point.client_side_latency
+        assert point.client_side_rtts == point.tree_height + 1
+    # The win grows with tree depth (the paper's degradation argument)...
+    slow = [p for p in points if p.propagation == 10e-6]
+    assert slow[-1].speedup > slow[0].speedup
+    # ...and shrinks as the network gets faster.
+    fast = [p for p in points if p.propagation == 1e-6]
+    assert fast[-1].speedup < slow[-1].speedup * 1.5  # same order, smaller gap
+
+
+def test_bench_single_lookup_latency(benchmark):
+    """Microbenchmark: one offloaded lookup end to end (wall-clock cost of
+    simulating it, for pytest-benchmark's timing)."""
+    from repro.eval.pointer_chase import _measure
+
+    point = benchmark.pedantic(
+        _measure, args=(1024, 10e-6), kwargs={"lookups": 5},
+        rounds=1, iterations=1,
+    )
+    assert point.offload_latency < point.client_side_latency

@@ -1,0 +1,22 @@
+"""E6: predictability + energy, hardware pipeline vs CPU software."""
+
+from conftest import emit
+
+from repro.eval.predictability import format_predictability, run_predictability
+
+
+def test_bench_predictability(benchmark):
+    results = benchmark.pedantic(
+        run_predictability, kwargs={"runs": 500}, rounds=1, iterations=1
+    )
+    emit(format_predictability(results))
+    hw, cpu = results
+    # "the circuit runs a certain clock frequency without any outside
+    # interference": one latency, no tail.
+    assert hw.jitter_ratio < 1.000001
+    assert hw.stddev_latency < 1e-15
+    # The CPU shows a real tail (jitter + preemptions).
+    assert cpu.jitter_ratio > 1.05
+    assert cpu.stddev_latency > 0
+    # Energy per op favors the DPU by a wide margin (TDP x time).
+    assert cpu.energy_per_op_j / hw.energy_per_op_j > 5

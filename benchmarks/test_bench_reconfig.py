@@ -1,0 +1,19 @@
+"""E7: ICAP partial-reconfiguration multiplexing (10-100 ms timescales)."""
+
+from conftest import emit
+
+from repro.eval.reconfig import format_reconfig, run_reconfig
+
+
+def test_bench_reconfig(benchmark):
+    report = benchmark.pedantic(
+        run_reconfig, kwargs={"tenants": 10}, rounds=1, iterations=1
+    )
+    emit(format_reconfig(report))
+    # Every tenant eventually lands.
+    assert report.granted == 10
+    # Paper §2: coarse-grained spatial multiplexing "with longer
+    # time-scales (10-100 msecs, partial reconfiguration)".
+    assert report.in_band_fraction == 1.0
+    assert 10e-3 <= report.min_reconfig
+    assert report.max_reconfig <= 100e-3

@@ -1,0 +1,21 @@
+"""E11: segment-table persistence and power-loss recovery."""
+
+from conftest import emit
+
+from repro.eval.recovery import format_recovery, run_recovery
+
+
+def test_bench_recovery(benchmark):
+    points = benchmark.pedantic(
+        run_recovery, kwargs={"durable_counts": (10, 100, 1000)},
+        rounds=1, iterations=1,
+    )
+    emit(format_recovery(points))
+    for point in points:
+        # Everything durable survives with its bytes; everything ephemeral
+        # is gone — exactly the §2.1 contract.
+        assert point.recovered_segments == point.durable_segments
+        assert point.data_intact
+        assert point.ephemeral_gone
+    # The persisted image grows linearly (40 B/record + 16 B header).
+    assert points[-1].persist_bytes == 16 + 40 * points[-1].durable_segments

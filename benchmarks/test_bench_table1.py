@@ -1,0 +1,14 @@
+"""Table 1: the state-of-the-art capability matrix."""
+
+from conftest import emit
+
+from repro.eval.table1 import only_complete_category, run_table1
+
+
+def test_bench_table1(benchmark):
+    table = benchmark(run_table1)
+    emit(table.render())
+    # The table's argument: every surveyed category misses a leg; only the
+    # unified design is complete.
+    assert only_complete_category() == "Hyperion (this work)"
+    assert len(table.rows) == 7

@@ -1,0 +1,85 @@
+"""Ablation: static placement vs hint/access-driven promotion (paper §2.1).
+
+DESIGN.md ablation 2. A hot object allocated on flash (static placement
+keeps it there forever) is accessed repeatedly; with the tiering policy it
+is promoted to DRAM after one epoch and later accesses run at DRAM latency.
+Expected shape: mean access latency drops by orders of magnitude once
+promotion kicks in; durable objects never move.
+"""
+
+from conftest import emit
+
+from repro.eval.report import Table
+from repro.hw.fpga.fabric import MemoryBank
+from repro.hw.nvme import Namespace, NvmeController
+from repro.memory import DramBackend, NvmeBackend, PlacementHint, SingleLevelStore
+from repro.memory.segments import SegmentLocation
+from repro.memory.tiering import TieringPolicy
+from repro.sim import Simulator
+
+EPOCHS = 4
+ACCESSES_PER_EPOCH = 20
+
+
+def _make_store(sim):
+    dram = DramBackend(sim, MemoryBank("ddr4-0", 1 << 20, 19.2e9, 80e-9), 1 << 20)
+    controller = NvmeController(sim, "tier-flash")
+    controller.add_namespace(Namespace(1, 8192))
+    qp = controller.create_queue_pair()
+    controller.start()
+    return SingleLevelStore(sim, dram, NvmeBackend(sim, controller, qp))
+
+
+def run_tiering_ablation():
+    results = {}
+    for policy_name in ("static", "hints"):
+        sim = Simulator()
+        store = _make_store(sim)
+        policy = TieringPolicy(store, hot_threshold=5) if policy_name == "hints" else None
+        hot = store.allocate(256, hint=PlacementHint.COLD)
+        store.write(hot.oid, b"h" * 256)
+        epoch_latencies = []
+
+        def workload():
+            for _ in range(EPOCHS):
+                epoch_start = sim.now
+                for _ in range(ACCESSES_PER_EPOCH):
+                    yield from store.timed_read(hot.oid, 64)
+                epoch_latencies.append(
+                    (sim.now - epoch_start) / ACCESSES_PER_EPOCH
+                )
+                if policy is not None:
+                    policy.run_epoch()
+
+        sim.run_process(workload())
+        results[policy_name] = {
+            "epoch_latencies": epoch_latencies,
+            "final_location": store.table.lookup(hot.oid).location,
+        }
+    return results
+
+
+def test_bench_tiering(benchmark):
+    results = benchmark.pedantic(run_tiering_ablation, rounds=1, iterations=1)
+    table = Table(
+        "EXT/ablation: static vs hint-driven segment placement (E4 companion)",
+        ["policy"] + [f"epoch {i} mean" for i in range(EPOCHS)] + ["final tier"],
+    )
+    for name, data in results.items():
+        table.add_row(
+            name,
+            *[f"{lat * 1e6:.1f} us" for lat in data["epoch_latencies"]],
+            data["final_location"].value,
+        )
+    emit(table.render())
+    static = results["static"]
+    hints = results["hints"]
+    # Static placement: flash latency forever.
+    assert static["final_location"] is SegmentLocation.NVME
+    assert min(static["epoch_latencies"]) > 50e-6
+    # Hints: promoted after epoch 0, then DRAM-fast.
+    assert hints["final_location"] is SegmentLocation.DRAM
+    assert hints["epoch_latencies"][0] > 50e-6  # started on flash
+    assert hints["epoch_latencies"][-1] < 1e-6  # finished in DRAM
+    speedup = static["epoch_latencies"][-1] / hints["epoch_latencies"][-1]
+    assert speedup > 50

@@ -1,0 +1,32 @@
+"""E5: segment translation vs page-based virtual memory (paper §2.1)."""
+
+from conftest import emit
+
+from repro.eval.translation import format_translation, run_translation
+
+
+def test_bench_translation(benchmark):
+    points = benchmark.pedantic(
+        run_translation,
+        kwargs={
+            "working_sets": (1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20),
+            "accesses": 10_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_translation(points))
+    # Segments always win on raw translation latency...
+    for point in points:
+        assert point.segment_translation_time <= point.page_translation_time
+    # ...and the gap explodes once the working set outruns TLB reach
+    # (1536 entries x 4 KiB = 6 MiB).
+    small, large = points[0], points[-1]
+    assert small.tlb_hit_rate > 0.9
+    assert large.tlb_hit_rate < 0.2
+    assert large.segment_advantage > 10 * small.segment_advantage
+    # Huge-page ablation: 2 MiB pages rescue the mid-range but also fall
+    # off once the working set outruns the huge-TLB's reach, while the
+    # object-granular segment table stays flat.
+    assert large.huge_page_translation_time > 10 * points[-2].huge_page_translation_time
+    assert large.segment_translation_time < large.huge_page_translation_time

@@ -1,0 +1,55 @@
+"""The paper's §2.4 workloads, runnable on the DPU and on the baseline.
+
+* :mod:`repro.apps.fail2ban` — high-volume network middleware with
+  persistent, traffic-proportional state;
+* :mod:`repro.apps.loadbalancer` — a Tiara-style L4 load balancer whose
+  connection table overflows from DRAM to SSD;
+* :mod:`repro.apps.pointer_chase` — latency-sensitive pointer chasing over
+  a disaggregated B+ tree, client-side vs DPU-offloaded;
+* :mod:`repro.apps.analytics` — the §2.3 end-to-end columnar scan:
+  annotation walker -> Parquet chunks -> Arrow -> filter/aggregate.
+"""
+
+from repro.apps.fail2ban import (
+    Fail2BanDpu,
+    Fail2BanBaseline,
+    PacketRecord,
+    build_fail2ban_program,
+    generate_packet_trace,
+)
+from repro.apps.loadbalancer import LoadBalancer, LbPacket, generate_connections
+from repro.apps.pointer_chase import (
+    RemoteTreeService,
+    client_side_lookup,
+    offloaded_lookup,
+)
+from repro.apps.analytics import AnalyticsQuery, dpu_scan, cpu_scan
+from repro.apps.graph import (
+    CsrGraph,
+    GraphService,
+    client_side_bfs,
+    offloaded_bfs,
+    random_graph,
+)
+
+__all__ = [
+    "Fail2BanDpu",
+    "Fail2BanBaseline",
+    "PacketRecord",
+    "build_fail2ban_program",
+    "generate_packet_trace",
+    "LoadBalancer",
+    "LbPacket",
+    "generate_connections",
+    "RemoteTreeService",
+    "client_side_lookup",
+    "offloaded_lookup",
+    "AnalyticsQuery",
+    "dpu_scan",
+    "cpu_scan",
+    "CsrGraph",
+    "GraphService",
+    "client_side_bfs",
+    "offloaded_bfs",
+    "random_graph",
+]

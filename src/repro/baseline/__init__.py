@@ -1,0 +1,22 @@
+"""The CPU-centric baseline Hyperion argues against.
+
+A conventional server: NIC interrupts, syscalls, kernel/user copies, CPU
+software processing with scheduling jitter, and the CPU as the mediator of
+every NIC<->SSD transfer. Experiments E1/E3/E6/E9 run the same workloads
+through this model and through the DPU path.
+"""
+
+from repro.baseline.cpu import CpuModel, CpuCosts
+from repro.baseline.os_model import OsModel, OsCosts
+from repro.baseline.server import ConventionalServer, SUPERMICRO_X12
+from repro.baseline.datapath import CpuCentricDatapath
+
+__all__ = [
+    "CpuModel",
+    "CpuCosts",
+    "OsModel",
+    "OsCosts",
+    "ConventionalServer",
+    "SUPERMICRO_X12",
+    "CpuCentricDatapath",
+]

@@ -1,0 +1,69 @@
+"""The CPU-mediated datapath: NIC -> kernel -> CPU -> kernel -> SSD.
+
+Each packet handled by a conventional server costs an interrupt, syscalls,
+two copies, software program execution (with jitter), and a block-layer
+traversal before reaching flash — every stage the Hyperion inline path
+deletes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baseline.cpu import CpuModel
+from repro.baseline.os_model import OsModel
+from repro.ebpf.vm import BpfVm
+from repro.hw.nvme.commands import NvmeCommand, NvmeOpcode
+from repro.hw.nvme.controller import NvmeController
+from repro.sim import Simulator
+
+
+class CpuCentricDatapath:
+    """Packet-processing-with-persistence on a conventional server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CpuModel,
+        os_model: OsModel,
+        ssd: Optional[NvmeController] = None,
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.os = os_model
+        self.ssd = ssd
+        self.qp = None
+        if ssd is not None:
+            self.qp = ssd.create_queue_pair()
+            ssd.start()
+        self.packets_processed = 0
+        self._log_lba = 0
+        self._page_cache = bytearray()
+
+    def process_packet(self, vm: BpfVm, packet: bytes, persist: bool):
+        """Process: one packet through the full CPU-centric path.
+
+        Persistence goes through the page cache: every packet pays the
+        write syscall + copy, and full 4 KiB pages flush to the device —
+        the same block-granular flash traffic as the DPU log.
+
+        Returns the program's verdict (r0).
+        """
+        # NIC -> kernel -> user
+        yield from self.os.receive_packet(len(packet))
+        # software program execution (jittery)
+        result = yield from self.cpu.execute_ebpf(vm, packet)
+        if persist and self.qp is not None:
+            # user -> kernel -> block layer -> page cache
+            yield from self.os.write_storage(len(packet))
+            self._page_cache.extend(packet)
+            if len(self._page_cache) >= 4096:
+                block = bytes(self._page_cache[:4096])
+                self._page_cache = self._page_cache[4096:]
+                completion = yield self.qp.submit(
+                    NvmeCommand(NvmeOpcode.WRITE, lba=self._log_lba, data=block)
+                )
+                assert completion.ok
+                self._log_lba += 1
+        self.packets_processed += 1
+        return result.return_value

@@ -1,0 +1,68 @@
+"""Operating-system path costs: interrupts, syscalls, copies.
+
+Published magnitudes for a tuned Linux server; these are the "CPU remains
+in the critical path to manage data flows (data copying, I/O buffers
+management)" overheads of paper §1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.cpu import CpuModel
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class OsCosts:
+    """Per-operation kernel costs (interrupt, syscall, block layer)."""
+
+    interrupt_latency: float = 4e-6  # NIC IRQ + softirq
+    syscall_latency: float = 1.2e-6  # entry/exit + spectre mitigations
+    block_layer_latency: float = 3e-6  # bio submit + completion
+    context_switch_latency: float = 3e-6
+    page_fault_latency: float = 5e-6
+
+
+class OsModel:
+    """Charges the kernel's share of each datapath operation."""
+
+    def __init__(self, sim: Simulator, cpu: CpuModel, costs: OsCosts = OsCosts()):
+        self.sim = sim
+        self.cpu = cpu
+        self.costs = costs
+        self.syscalls = 0
+        self.interrupts = 0
+        self.bytes_copied = 0
+
+    def receive_packet(self, size: int):
+        """Process: NIC interrupt + socket read syscall + copy to user."""
+        self.interrupts += 1
+        yield self.sim.timeout(self.costs.interrupt_latency)
+        self.syscalls += 1
+        yield self.sim.timeout(self.costs.syscall_latency)
+        self.bytes_copied += size
+        yield from self.cpu.memcpy(size)
+
+    def send_packet(self, size: int):
+        """Process: send syscall + copy to kernel."""
+        self.syscalls += 1
+        yield self.sim.timeout(self.costs.syscall_latency)
+        self.bytes_copied += size
+        yield from self.cpu.memcpy(size)
+
+    def write_storage(self, size: int):
+        """Process: write syscall + block layer + copy to page cache."""
+        self.syscalls += 1
+        yield self.sim.timeout(self.costs.syscall_latency)
+        yield self.sim.timeout(self.costs.block_layer_latency)
+        self.bytes_copied += size
+        yield from self.cpu.memcpy(size)
+
+    def read_storage(self, size: int):
+        """Process: read syscall + block layer + copy from page cache."""
+        self.syscalls += 1
+        yield self.sim.timeout(self.costs.syscall_latency)
+        yield self.sim.timeout(self.costs.block_layer_latency)
+        self.bytes_copied += size
+        yield from self.cpu.memcpy(size)

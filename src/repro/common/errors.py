@@ -1,0 +1,25 @@
+"""Exception hierarchy shared across the Hyperion reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CapacityError(ReproError):
+    """A resource (memory, flash, FPGA area, queue) is exhausted."""
+
+
+class ConfigurationError(ReproError):
+    """A component was composed or configured inconsistently."""
+
+
+class ProtocolError(ReproError):
+    """A wire- or command-level protocol invariant was violated."""
+
+
+class VerificationError(ReproError):
+    """An eBPF program was rejected by the verifier."""
+
+
+class PowerLossError(ReproError):
+    """Raised to model an abrupt power failure on a device."""

@@ -1,0 +1,55 @@
+"""128-bit object identifiers for the single-level segment store.
+
+Hyperion's memory/storage model (paper §2.1, inspired by Twizzler) names
+every segment with a 128-bit identifier. The identifier is location
+independent: the segment translation table maps it to a bus address in DRAM,
+HBM, or on NVMe flash.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_MASK_128 = (1 << 128) - 1
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """An immutable 128-bit identifier.
+
+    Instances are hashable and totally ordered so they can be used as keys
+    in translation tables and B+ trees.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MASK_128:
+            raise ValueError(f"ObjectId out of 128-bit range: {self.value:#x}")
+
+    @classmethod
+    def random(cls, rng: random.Random | None = None) -> "ObjectId":
+        """Draw a uniformly random identifier (collision chance ~2^-128)."""
+        source = rng if rng is not None else random
+        return cls(source.getrandbits(128))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ObjectId":
+        if len(raw) != 16:
+            raise ValueError("ObjectId requires exactly 16 bytes")
+        return cls(int.from_bytes(raw, "big"))
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(16, "big")
+
+    def __str__(self) -> str:
+        return f"{self.value:032x}"
+
+    def __repr__(self) -> str:
+        return f"ObjectId({self})"
+
+
+#: The well-known identifier of the boot/control area that stores the
+#: persisted segment translation table (paper §2.1).
+BOOT_AREA_ID = ObjectId(1)

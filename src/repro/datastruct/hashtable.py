@@ -1,0 +1,108 @@
+"""A bucketed hash table with byte serialization.
+
+The lookup-table abstraction of §2.4's network-attached SSDs (cf. KV-SSD):
+fixed bucket array, chained entries, whole-structure serialization so a
+table can be persisted into a durable segment and recovered.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import CapacityError, ProtocolError
+
+_MAGIC = b"HTBL"
+
+
+def _fnv1a(data: bytes) -> int:
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFF_FFFF_FFFF_FFFF
+    return value
+
+
+class BucketHashTable:
+    """Chained-bucket hash map of bytes -> bytes."""
+
+    def __init__(self, bucket_count: int = 64, max_entries: int = 100_000):
+        if bucket_count < 1:
+            raise ProtocolError("need at least one bucket")
+        self.bucket_count = bucket_count
+        self.max_entries = max_entries
+        self._buckets: List[List[Tuple[bytes, bytes]]] = [
+            [] for _ in range(bucket_count)
+        ]
+        self._count = 0
+
+    def _bucket(self, key: bytes) -> List[Tuple[bytes, bytes]]:
+        return self._buckets[_fnv1a(key) % self.bucket_count]
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        bucket = self._bucket(key)
+        for index, (existing, __) in enumerate(bucket):
+            if existing == key:
+                bucket[index] = (key, value)
+                return
+        if self._count >= self.max_entries:
+            raise CapacityError("hash table full")
+        bucket.append((key, value))
+        self._count += 1
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        key = bytes(key)
+        for existing, value in self._bucket(key):
+            if existing == key:
+                return value
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        key = bytes(key)
+        bucket = self._bucket(key)
+        for index, (existing, __) in enumerate(bucket):
+            if existing == key:
+                bucket.pop(index)
+                self._count -= 1
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    def load_factor(self) -> float:
+        return self._count / self.bucket_count
+
+    # -- serialization -------------------------------------------------------
+    def serialize(self) -> bytes:
+        parts = [_MAGIC, struct.pack("<II", self.bucket_count, self._count)]
+        for key, value in self.items():
+            parts.append(struct.pack("<II", len(key), len(value)))
+            parts.append(key)
+            parts.append(value)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, raw: bytes, max_entries: int = 100_000) -> "BucketHashTable":
+        if raw[:4] != _MAGIC:
+            raise ProtocolError("bad hash table image")
+        bucket_count, count = struct.unpack_from("<II", raw, 4)
+        table = cls(bucket_count=bucket_count, max_entries=max(max_entries, count))
+        offset = 12
+        for _ in range(count):
+            key_len, value_len = struct.unpack_from("<II", raw, offset)
+            offset += 8
+            key = raw[offset : offset + key_len]
+            offset += key_len
+            value = raw[offset : offset + value_len]
+            offset += value_len
+            table.put(key, value)
+        return table

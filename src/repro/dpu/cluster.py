@@ -1,0 +1,104 @@
+"""Distributed CPU-free applications over multiple DPUs (paper §2.4, §4).
+
+The paper's C1/C2 workload split and discussion question 3: how to build
+applications "executed over multiple DPUs"? Following the cited MICA
+pattern, the cluster uses *client-driven request routing*: clients hash
+keys to the owning DPU and talk to it directly — shared-nothing,
+run-to-completion, with no coordinator in the data path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.hw.net import Network
+from repro.hw.nvme import Namespace, NvmeController
+from repro.sim import Simulator
+from repro.storage.kvssd import KvSsd, KvSsdClient, KvSsdService
+from repro.transport import RpcClient, RpcServer, UdpSocket
+
+
+def _owner_index(key: bytes, count: int) -> int:
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % count
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate and per-DPU operation counts for a cluster."""
+
+    routed_ops: int = 0
+    per_dpu_ops: Optional[Dict[str, int]] = None
+
+
+class DpuKvCluster:
+    """N standalone KV-SSD DPUs behind client-driven routing."""
+
+    def __init__(self, sim: Simulator, network: Network, dpu_count: int = 4,
+                 ssd_blocks: int = 65536):
+        if dpu_count < 1:
+            raise ConfigurationError("need at least one DPU")
+        self.sim = sim
+        self.network = network
+        self.addresses: List[str] = []
+        self.devices: List[KvSsd] = []
+        for index in range(dpu_count):
+            address = f"kv-dpu-{index}"
+            controller = NvmeController(sim, f"{address}-flash")
+            controller.add_namespace(Namespace(1, ssd_blocks))
+            device = KvSsd(sim, controller, memtable_limit=100_000)
+            server = RpcServer(sim, UdpSocket(sim, network.endpoint(address)))
+            KvSsdService(server, device)
+            self.addresses.append(address)
+            self.devices.append(device)
+
+    def owner_of(self, key: bytes) -> str:
+        return self.addresses[_owner_index(key, len(self.addresses))]
+
+    def stats(self) -> ClusterStats:
+        per_dpu = {
+            address: device.gets + device.puts
+            for address, device in zip(self.addresses, self.devices)
+        }
+        return ClusterStats(
+            routed_ops=sum(per_dpu.values()), per_dpu_ops=per_dpu
+        )
+
+    def balance(self) -> float:
+        """max/mean ops across DPUs — 1.0 is a perfect spread."""
+        counts = [d.gets + d.puts for d in self.devices]
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+
+class RoutingClient:
+    """A client that owns the partition map (passive disaggregation: the
+    smartness lives with the client, the DPUs only serve fast-path ops)."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 cluster: DpuKvCluster):
+        self.cluster = cluster
+        rpc = RpcClient(sim, UdpSocket(sim, network.endpoint(name)))
+        self._stubs: Dict[str, KvSsdClient] = {
+            address: KvSsdClient(rpc, address) for address in cluster.addresses
+        }
+        self.ops = 0
+
+    def put(self, key: bytes, value: bytes):
+        stub = self._stubs[self.cluster.owner_of(key)]
+        yield from stub.put(key, value)
+        self.ops += 1
+
+    def get(self, key: bytes):
+        stub = self._stubs[self.cluster.owner_of(key)]
+        value = yield from stub.get(key)
+        self.ops += 1
+        return value
+
+    def delete(self, key: bytes):
+        stub = self._stubs[self.cluster.owner_of(key)]
+        yield from stub.delete(key)
+        self.ops += 1

@@ -1,0 +1,158 @@
+"""A mini-P4 frontend compiling match-action pipelines to eBPF.
+
+Paper §2.2: "Apart from eBPF, we also consider P4 ... In restricted
+capabilities (with only filtering and forwarding), there are P4 to eBPF
+compilers available." This module implements exactly that restricted
+subset: header field extraction, exact-match tables, and
+filter/forward/mark actions — lowered to eBPF so the rest of the Hyperion
+toolchain (verifier, HDL backend) is reused unchanged.
+
+Example::
+
+    pipeline = P4Pipeline("l4_filter")
+    pipeline.header_field("dst_port", offset=2, size=2)
+    table = pipeline.table("acl", key_field="dst_port")
+    table.entry(22, action="drop")
+    table.entry(80, action="forward", port=1)
+    table.default(action="forward", port=0)
+    program = pipeline.compile()      # an eBPF Program
+
+The compiled program returns DROP (0) or FORWARD_BASE + port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.ebpf.builder import ProgramBuilder
+from repro.ebpf.isa import Program
+
+#: Return-value convention of compiled pipelines.
+VERDICT_DROP = 0
+FORWARD_BASE = 1
+
+
+@dataclass(frozen=True)
+class HeaderField:
+    """A fixed-offset field in the packet header."""
+
+    name: str
+    offset: int
+    size: int  # 1, 2, 4, or 8 bytes
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4, 8):
+            raise ConfigurationError(f"unsupported field size {self.size}")
+        if self.offset < 0:
+            raise ConfigurationError("field offset must be non-negative")
+
+
+@dataclass
+class TableEntry:
+    """One exact-match rule: match value, action, and egress port."""
+
+    match_value: int
+    action: str
+    port: int = 0
+
+
+class P4Table:
+    """An exact-match table over one header field."""
+
+    def __init__(self, name: str, key_field: str):
+        self.name = name
+        self.key_field = key_field
+        self.entries: List[TableEntry] = []
+        self.default_action: Optional[TableEntry] = None
+
+    def entry(self, match_value: int, action: str, port: int = 0) -> "P4Table":
+        self._check_action(action)
+        if any(e.match_value == match_value for e in self.entries):
+            raise ConfigurationError(
+                f"duplicate match {match_value} in table {self.name}"
+            )
+        self.entries.append(TableEntry(match_value, action, port))
+        return self
+
+    def default(self, action: str, port: int = 0) -> "P4Table":
+        self._check_action(action)
+        self.default_action = TableEntry(-1, action, port)
+        return self
+
+    @staticmethod
+    def _check_action(action: str) -> None:
+        if action not in ("drop", "forward"):
+            raise ConfigurationError(f"unknown action {action!r}")
+
+
+class P4Pipeline:
+    """An ordered chain of tables applied to each packet."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: Dict[str, HeaderField] = {}
+        self.tables: List[P4Table] = []
+
+    def header_field(self, name: str, offset: int, size: int) -> HeaderField:
+        if name in self.fields:
+            raise ConfigurationError(f"duplicate field {name}")
+        field_def = HeaderField(name, offset, size)
+        self.fields[name] = field_def
+        return field_def
+
+    def table(self, name: str, key_field: str) -> P4Table:
+        if key_field not in self.fields:
+            raise ConfigurationError(f"unknown key field {key_field!r}")
+        table = P4Table(name, key_field)
+        self.tables.append(table)
+        return table
+
+    # -- lowering to eBPF -----------------------------------------------------
+    def compile(self) -> Program:
+        """Lower to eBPF: a chain of compare/branch ladders.
+
+        A "drop" terminates immediately; a "forward" records the port and
+        falls through to the next table (later tables may override, P4's
+        sequential-apply semantics); packets matching nothing anywhere use
+        the last table's default.
+        """
+        if not self.tables:
+            raise ConfigurationError("pipeline has no tables")
+        for table in self.tables:
+            if table.default_action is None:
+                raise ConfigurationError(
+                    f"table {table.name} needs a default action"
+                )
+        b = ProgramBuilder(self.name)
+        # r6 holds the current verdict (starts as last table's default).
+        b.mov("r6", _verdict(self.tables[-1].default_action))
+        for t_index, table in enumerate(self.tables):
+            field_def = self.fields[table.key_field]
+            b.load(field_def.size, "r7", "r1", field_def.offset)
+            next_table = f"table_{t_index + 1}"
+            for e_index, entry in enumerate(table.entries):
+                hit = f"t{t_index}_hit{e_index}"
+                b.jeq("r7", entry.match_value, hit)
+            # miss: apply this table's default, go on
+            b.mov("r6", _verdict(table.default_action))
+            b.jump(next_table)
+            for e_index, entry in enumerate(table.entries):
+                b.label(f"t{t_index}_hit{e_index}")
+                if entry.action == "drop":
+                    b.mov("r0", VERDICT_DROP)
+                    b.exit()
+                else:
+                    b.mov("r6", _verdict(entry))
+                    b.jump(next_table)
+            b.label(next_table)
+        b.mov("r0", "r6")
+        b.exit()
+        return b.build()
+
+
+def _verdict(entry: TableEntry) -> int:
+    if entry.action == "drop":
+        return VERDICT_DROP
+    return FORWARD_BASE + entry.port

@@ -1,0 +1,352 @@
+"""A simplified symbolic-execution verifier for eBPF programs.
+
+Paper §2.2: "due to the simplified nature of the eBPF instruction set, it is
+possible to verify and reason about its execution. The Linux kernel already
+ships with an eBPF verifier (with simplified symbolic execution checks)."
+
+This verifier walks every control-flow path with abstract register states.
+Each register is ``(type, offset)`` where offset tracks pointer arithmetic
+with known immediates (stack pointers are relative to r10):
+
+* reads of uninitialized registers are rejected;
+* loads and stores require a pointer base; stack accesses are bounds-checked
+  against the 512-byte frame, context accesses must be non-negative;
+* a map-value pointer must be null-checked before dereference;
+* back-edges (loops) are rejected unless ``allow_bounded_loops`` is set, in
+  which case exploration is bounded by a state budget (kernel-style);
+* every path must reach EXIT with r0 initialized;
+* division/modulo by a zero immediate is rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.ebpf.helpers import (
+    HELPER_MAP_DELETE,
+    HELPER_MAP_LOOKUP,
+    HELPER_MAP_UPDATE,
+    HelperRegistry,
+    standard_helpers,
+)
+from repro.ebpf.isa import Instruction, MEM_SIZE, Opcode, Program, STACK_SIZE
+
+
+class RegType(enum.Enum):
+    """Abstract type of a register during symbolic execution."""
+
+    UNINIT = "uninit"
+    SCALAR = "scalar"
+    PTR_STACK = "ptr_stack"
+    PTR_CTX = "ptr_ctx"
+    PTR_MAP_VALUE = "ptr_map_value"
+    PTR_MAP_VALUE_OR_NULL = "ptr_map_value_or_null"
+
+    @property
+    def is_pointer(self) -> bool:
+        return self in (
+            RegType.PTR_STACK,
+            RegType.PTR_CTX,
+            RegType.PTR_MAP_VALUE,
+        )
+
+
+#: One abstract register: (type, known pointer offset or None).
+RegState = Tuple[RegType, Optional[int]]
+State = Tuple[RegState, ...]
+
+_UNINIT: RegState = (RegType.UNINIT, None)
+_SCALAR: RegState = (RegType.SCALAR, None)
+
+
+@dataclass
+class VerifierError:
+    """One rejection: the offending pc and a human-readable reason."""
+
+    pc: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"pc {self.pc}: {self.message}"
+
+
+@dataclass
+class VerifierReport:
+    """The verdict plus exploration statistics."""
+
+    ok: bool
+    errors: List[VerifierError] = field(default_factory=list)
+    states_explored: int = 0
+    instructions_covered: int = 0
+
+    def reject_reason(self) -> Optional[str]:
+        return str(self.errors[0]) if self.errors else None
+
+
+_INITIAL_STATE: State = tuple(
+    [_UNINIT]  # r0
+    + [(RegType.PTR_CTX, 0)]  # r1 = context pointer
+    + [_SCALAR]  # r2 = context length
+    + [_UNINIT] * 7  # r3-r9
+    + [(RegType.PTR_STACK, 0)]  # r10 = frame pointer (offset 0 == frame end)
+)
+
+
+class Verifier:
+    """Path-sensitive abstract interpreter over a :class:`Program`."""
+
+    def __init__(
+        self,
+        helpers: Optional[HelperRegistry] = None,
+        allow_bounded_loops: bool = False,
+        max_states: int = 100_000,
+    ):
+        self.helpers = helpers if helpers is not None else standard_helpers()
+        self.allow_bounded_loops = allow_bounded_loops
+        self.max_states = max_states
+
+    def verify(self, program: Program) -> VerifierReport:
+        report = VerifierReport(ok=True)
+        if len(program) == 0:
+            report.ok = False
+            report.errors.append(VerifierError(0, "empty program"))
+            return report
+
+        self._structural_checks(program, report)
+        if not report.ok:
+            return report
+
+        seen: Set[Tuple[int, State]] = set()
+        covered: Set[int] = set()
+        worklist: List[Tuple[int, State]] = [(0, _INITIAL_STATE)]
+        while worklist:
+            pc, state = worklist.pop()
+            if (pc, state) in seen:
+                continue
+            seen.add((pc, state))
+            if len(seen) > self.max_states:
+                report.ok = False
+                report.errors.append(
+                    VerifierError(pc, "state budget exhausted (unbounded loop?)")
+                )
+                break
+            insn = program.at_slot(pc)
+            covered.add(pc)
+            successors = self._step(pc, insn, state, report)
+            if not report.ok:
+                break
+            for next_pc, next_state in successors:
+                if next_pc <= pc and not self.allow_bounded_loops:
+                    report.ok = False
+                    report.errors.append(
+                        VerifierError(
+                            pc,
+                            "back-edge detected; loops need allow_bounded_loops",
+                        )
+                    )
+                    break
+                worklist.append((next_pc, next_state))
+            if not report.ok:
+                break
+        report.states_explored = len(seen)
+        report.instructions_covered = len(covered)
+        return report
+
+    # -- structural checks -----------------------------------------------------
+    def _structural_checks(self, program: Program, report: VerifierReport) -> None:
+        length = len(program)
+        pc = 0
+        for insn in program:
+            if insn.is_cond_jump or insn.opcode is Opcode.JA:
+                target = pc + 1 + insn.offset
+                if not 0 <= target < length:
+                    report.ok = False
+                    report.errors.append(
+                        VerifierError(pc, f"jump target {target} out of range")
+                    )
+                else:
+                    try:
+                        program.at_slot(target)
+                    except Exception:
+                        report.ok = False
+                        report.errors.append(
+                            VerifierError(pc, "jump into the middle of LDDW")
+                        )
+            if insn.opcode is Opcode.CALL and not self.helpers.known(insn.imm):
+                report.ok = False
+                report.errors.append(
+                    VerifierError(pc, f"call to unknown helper {insn.imm}")
+                )
+            if (
+                insn.opcode in (Opcode.DIV, Opcode.MOD)
+                and not insn.uses_reg_src
+                and insn.imm == 0
+            ):
+                report.ok = False
+                report.errors.append(VerifierError(pc, "division by zero immediate"))
+            pc += insn.slots
+        last = program.instructions[-1]
+        if last.opcode not in (Opcode.EXIT, Opcode.JA):
+            report.ok = False
+            report.errors.append(
+                VerifierError(length - 1, "program can fall off the end")
+            )
+
+    # -- symbolic step ---------------------------------------------------------
+    def _step(
+        self,
+        pc: int,
+        insn: Instruction,
+        state: State,
+        report: VerifierReport,
+    ) -> List[Tuple[int, State]]:
+        regs = list(state)
+        op = insn.opcode
+
+        def fail(message: str) -> List[Tuple[int, State]]:
+            report.ok = False
+            report.errors.append(VerifierError(pc, message))
+            return []
+
+        def require_init(reg: int) -> bool:
+            if regs[reg][0] is RegType.UNINIT:
+                fail(f"read of uninitialized register r{reg}")
+                return False
+            return True
+
+        if op is Opcode.EXIT:
+            if regs[0][0] is RegType.UNINIT:
+                return fail("exit with uninitialized r0")
+            return []
+
+        if op is Opcode.CALL:
+            if insn.imm in (HELPER_MAP_LOOKUP, HELPER_MAP_UPDATE, HELPER_MAP_DELETE):
+                if not regs[2][0].is_pointer:
+                    return fail("map helper needs a pointer key in r2")
+            regs[0] = (
+                (RegType.PTR_MAP_VALUE_OR_NULL, 0)
+                if insn.imm == HELPER_MAP_LOOKUP
+                else _SCALAR
+            )
+            for clobbered in range(1, 6):
+                regs[clobbered] = _UNINIT
+            return [(pc + 1, tuple(regs))]
+
+        if op is Opcode.LDDW:
+            regs[insn.dst] = _SCALAR
+            return [(pc + 2, tuple(regs))]
+
+        if insn.is_alu:
+            return self._step_alu(pc, insn, regs, fail, require_init)
+
+        if insn.is_load:
+            base_type, base_offset = regs[insn.src]
+            message = self._check_access(base_type, base_offset, insn.offset, MEM_SIZE[op])
+            if message:
+                return fail(message)
+            regs[insn.dst] = _SCALAR
+            return [(pc + 1, tuple(regs))]
+
+        if insn.is_store:
+            base_type, base_offset = regs[insn.dst]
+            message = self._check_access(base_type, base_offset, insn.offset, MEM_SIZE[op])
+            if message:
+                return fail(message)
+            if op.value.startswith("stx") and not require_init(insn.src):
+                return []
+            return [(pc + 1, tuple(regs))]
+
+        if op is Opcode.JA:
+            return [(pc + 1 + insn.offset, tuple(regs))]
+
+        if insn.is_cond_jump:
+            if not require_init(insn.dst):
+                return []
+            if insn.uses_reg_src and not require_init(insn.src):
+                return []
+            taken = list(regs)
+            fallthrough = list(regs)
+            # Null-check refinement: `jeq rX, 0` / `jne rX, 0` on a
+            # maybe-null map value splits into null/non-null branches.
+            if (
+                not insn.uses_reg_src
+                and insn.imm == 0
+                and regs[insn.dst][0] is RegType.PTR_MAP_VALUE_OR_NULL
+            ):
+                if op is Opcode.JEQ:
+                    taken[insn.dst] = _SCALAR  # the null branch
+                    fallthrough[insn.dst] = (RegType.PTR_MAP_VALUE, 0)
+                elif op is Opcode.JNE:
+                    taken[insn.dst] = (RegType.PTR_MAP_VALUE, 0)
+                    fallthrough[insn.dst] = _SCALAR
+            return [
+                (pc + 1 + insn.offset, tuple(taken)),
+                (pc + 1, tuple(fallthrough)),
+            ]
+
+        return fail(f"unhandled opcode {op}")
+
+    def _step_alu(self, pc, insn, regs, fail, require_init):
+        op = insn.opcode
+        if op is Opcode.MOV:
+            if insn.uses_reg_src:
+                if not require_init(insn.src):
+                    return []
+                regs[insn.dst] = regs[insn.src]
+            else:
+                regs[insn.dst] = _SCALAR
+            return [(pc + 1, tuple(regs))]
+        if op is Opcode.NEG:
+            if not require_init(insn.dst):
+                return []
+            if regs[insn.dst][0] is not RegType.SCALAR:
+                return fail("NEG on a pointer")
+            return [(pc + 1, tuple(regs))]
+        if not require_init(insn.dst):
+            return []
+        if insn.uses_reg_src and not require_init(insn.src):
+            return []
+        src_type = regs[insn.src][0] if insn.uses_reg_src else RegType.SCALAR
+        dst_type, dst_offset = regs[insn.dst]
+        if dst_type.is_pointer or dst_type is RegType.PTR_MAP_VALUE_OR_NULL:
+            if op not in (Opcode.ADD, Opcode.SUB) or src_type is not RegType.SCALAR:
+                return fail(f"illegal pointer arithmetic ({op.value})")
+            if insn.uses_reg_src or dst_offset is None:
+                # Adding an unknown scalar: the offset becomes unknown.
+                regs[insn.dst] = (dst_type, None)
+            else:
+                delta = insn.imm if op is Opcode.ADD else -insn.imm
+                regs[insn.dst] = (dst_type, dst_offset + delta)
+            return [(pc + 1, tuple(regs))]
+        if src_type is not RegType.SCALAR:
+            return fail("pointer used as scalar operand")
+        regs[insn.dst] = _SCALAR
+        return [(pc + 1, tuple(regs))]
+
+    def _check_access(
+        self,
+        base_type: RegType,
+        base_offset: Optional[int],
+        insn_offset: int,
+        size: int,
+    ) -> Optional[str]:
+        """Returns an error message, or None if the access is legal."""
+        if base_type is RegType.PTR_MAP_VALUE_OR_NULL:
+            return "map value dereferenced without a null check"
+        if not base_type.is_pointer:
+            return f"memory access via non-pointer ({base_type.value})"
+        if base_offset is None:
+            return "access via pointer with unknown offset"
+        effective = base_offset + insn_offset
+        if base_type is RegType.PTR_STACK:
+            # Relative to r10 (frame end): the legal window is [-512, 0).
+            if not (-STACK_SIZE <= effective and effective + size <= 0):
+                return (
+                    f"stack access [{effective}, {effective + size}) outside "
+                    f"[-{STACK_SIZE}, 0)"
+                )
+        elif effective < 0:
+            return f"negative {base_type.value} offset {effective}"
+        return None

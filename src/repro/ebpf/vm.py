@@ -1,0 +1,256 @@
+"""The eBPF interpreter: one of "many possible implementations of an eBPF
+execution environment" (paper §2.2; cf. ubpf).
+
+Memory model
+------------
+The VM exposes a segmented 64-bit pointer space: the high 16 bits select a
+region, the low 48 bits are an offset. Region 1 is the 512-byte stack
+(r10 points one past its end), region 2 is the program context (the packet
+or input buffer), and further regions are map values exposed by helpers.
+Every access is bounds-checked; faults raise :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.ebpf.helpers import HelperRegistry, standard_helpers
+from repro.ebpf.isa import (
+    Instruction,
+    MEM_SIZE,
+    Opcode,
+    Program,
+    STACK_SIZE,
+)
+from repro.ebpf.maps import BpfMap
+
+_U64 = (1 << 64) - 1
+REGION_SHIFT = 48
+STACK_REGION = 1
+CONTEXT_REGION = 2
+_FIRST_DYNAMIC_REGION = 16
+
+
+def _u64(value: int) -> int:
+    return value & _U64
+
+
+def _s64(value: int) -> int:
+    value &= _U64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    return_value: int
+    instructions_executed: int
+    helper_calls: int
+    context: bytearray
+
+    @property
+    def r0(self) -> int:
+        return self.return_value
+
+
+class BpfVm:
+    """An interpreter instance bound to a program, maps, and helpers."""
+
+    def __init__(
+        self,
+        program: Program,
+        maps: Optional[Dict[int, BpfMap]] = None,
+        helpers: Optional[HelperRegistry] = None,
+        max_instructions: int = 1_000_000,
+        rng: Optional[random.Random] = None,
+    ):
+        self.program = program
+        self.maps = maps or {}
+        self.helpers = helpers if helpers is not None else standard_helpers()
+        self.max_instructions = max_instructions
+        self.rng = rng if rng is not None else random.Random(0)
+        self.trace_log: List[tuple] = []
+        self._clock_ns = 0
+        self._regions: Dict[int, bytearray] = {}
+        self._next_region = _FIRST_DYNAMIC_REGION
+
+    # -- environment hooks ---------------------------------------------------
+    def map_by_fd(self, fd: int) -> BpfMap:
+        bpf_map = self.maps.get(fd)
+        if bpf_map is None:
+            raise ProtocolError(f"no map with fd {fd}")
+        return bpf_map
+
+    def clock_ns(self) -> int:
+        self._clock_ns += 1
+        return self._clock_ns
+
+    def set_clock_ns(self, value: int) -> None:
+        self._clock_ns = value
+
+    def expose_buffer(self, buffer: bytearray) -> int:
+        """Register a live buffer as a region; returns a VM pointer to it."""
+        region = self._next_region
+        self._next_region += 1
+        self._regions[region] = buffer
+        return region << REGION_SHIFT
+
+    # -- memory --------------------------------------------------------------
+    def _region_buffer(self, pointer: int) -> tuple:
+        region = pointer >> REGION_SHIFT
+        offset = pointer & ((1 << REGION_SHIFT) - 1)
+        buffer = self._regions.get(region)
+        if buffer is None:
+            raise ProtocolError(f"dereference of invalid pointer {pointer:#x}")
+        return buffer, offset
+
+    def read_memory(self, pointer: int, size: int) -> bytes:
+        buffer, offset = self._region_buffer(pointer)
+        if offset + size > len(buffer):
+            raise ProtocolError(
+                f"out-of-bounds read at {pointer:#x} ({size} bytes)"
+            )
+        return bytes(buffer[offset : offset + size])
+
+    def write_memory(self, pointer: int, data: bytes) -> None:
+        buffer, offset = self._region_buffer(pointer)
+        if offset + len(data) > len(buffer):
+            raise ProtocolError(
+                f"out-of-bounds write at {pointer:#x} ({len(data)} bytes)"
+            )
+        buffer[offset : offset + len(data)] = data
+
+    # -- execution -----------------------------------------------------------
+    def run(self, context: bytes = b"") -> ExecutionResult:
+        """Execute the program with ``context`` as its input (r1)."""
+        self._regions = {
+            STACK_REGION: bytearray(STACK_SIZE),
+            CONTEXT_REGION: bytearray(context),
+        }
+        self._next_region = _FIRST_DYNAMIC_REGION
+        regs = [0] * 11
+        regs[1] = CONTEXT_REGION << REGION_SHIFT
+        regs[2] = len(context)
+        regs[10] = (STACK_REGION << REGION_SHIFT) + STACK_SIZE
+
+        pc = 0
+        executed = 0
+        helper_calls = 0
+        while True:
+            if executed >= self.max_instructions:
+                raise ProtocolError(
+                    f"instruction budget exhausted ({self.max_instructions})"
+                )
+            insn = self.program.at_slot(pc)
+            executed += 1
+            op = insn.opcode
+
+            if op is Opcode.EXIT:
+                return ExecutionResult(
+                    return_value=regs[0],
+                    instructions_executed=executed,
+                    helper_calls=helper_calls,
+                    context=self._regions[CONTEXT_REGION],
+                )
+            if op is Opcode.CALL:
+                args = [regs[1], regs[2], regs[3], regs[4], regs[5]]
+                regs[0] = _u64(self.helpers.call(insn.imm, self, args))
+                # r1-r5 are clobbered by calls (kernel semantics).
+                regs[1:6] = [0, 0, 0, 0, 0]
+                helper_calls += 1
+                pc += 1
+                continue
+            if op is Opcode.LDDW:
+                regs[insn.dst] = _u64(insn.imm)
+                pc += 2
+                continue
+            if insn.is_alu:
+                regs[insn.dst] = self._alu(insn, regs)
+                pc += 1
+                continue
+            if insn.is_load:
+                pointer = _u64(regs[insn.src] + insn.offset)
+                size = MEM_SIZE[op]
+                raw = self.read_memory(pointer, size)
+                regs[insn.dst] = int.from_bytes(raw, "little")
+                pc += 1
+                continue
+            if insn.is_store:
+                pointer = _u64(regs[insn.dst] + insn.offset)
+                size = MEM_SIZE[op]
+                value = regs[insn.src] if op.value.startswith("stx") else _u64(insn.imm)
+                self.write_memory(pointer, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+                pc += 1
+                continue
+            if op is Opcode.JA:
+                pc += 1 + insn.offset
+                continue
+            if insn.is_cond_jump:
+                taken = self._evaluate_jump(insn, regs)
+                pc += 1 + (insn.offset if taken else 0)
+                continue
+            raise ProtocolError(f"unhandled opcode {op}")
+
+    def _alu(self, insn: Instruction, regs: List[int]) -> int:
+        op = insn.opcode
+        src = regs[insn.src] if insn.uses_reg_src else _u64(insn.imm)
+        dst = regs[insn.dst]
+        if op is Opcode.MOV:
+            return src
+        if op is Opcode.ADD:
+            return _u64(dst + src)
+        if op is Opcode.SUB:
+            return _u64(dst - src)
+        if op is Opcode.MUL:
+            return _u64(dst * src)
+        if op is Opcode.DIV:
+            return _u64(dst // src) if src else 0  # div-by-zero yields 0
+        if op is Opcode.MOD:
+            return _u64(dst % src) if src else dst
+        if op is Opcode.OR:
+            return dst | src
+        if op is Opcode.AND:
+            return dst & src
+        if op is Opcode.XOR:
+            return dst ^ src
+        if op is Opcode.LSH:
+            return _u64(dst << (src & 63))
+        if op is Opcode.RSH:
+            return dst >> (src & 63)
+        if op is Opcode.ARSH:
+            return _u64(_s64(dst) >> (src & 63))
+        if op is Opcode.NEG:
+            return _u64(-dst)
+        raise ProtocolError(f"unhandled ALU op {op}")
+
+    def _evaluate_jump(self, insn: Instruction, regs: List[int]) -> bool:
+        op = insn.opcode
+        src = regs[insn.src] if insn.uses_reg_src else _u64(insn.imm)
+        dst = regs[insn.dst]
+        if op is Opcode.JEQ:
+            return dst == src
+        if op is Opcode.JNE:
+            return dst != src
+        if op is Opcode.JGT:
+            return dst > src
+        if op is Opcode.JGE:
+            return dst >= src
+        if op is Opcode.JLT:
+            return dst < src
+        if op is Opcode.JLE:
+            return dst <= src
+        if op is Opcode.JSET:
+            return bool(dst & src)
+        if op is Opcode.JSGT:
+            return _s64(dst) > _s64(src)
+        if op is Opcode.JSGE:
+            return _s64(dst) >= _s64(src)
+        if op is Opcode.JSLT:
+            return _s64(dst) < _s64(src)
+        if op is Opcode.JSLE:
+            return _s64(dst) <= _s64(src)
+        raise ProtocolError(f"unhandled jump {op}")

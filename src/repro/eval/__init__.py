@@ -1,0 +1,11 @@
+"""The evaluation harness: regenerates every table, figure, and claim.
+
+One module per experiment in DESIGN.md's index; each exposes a ``run_*``
+function returning structured results and a ``format_*`` function printing
+the same rows the paper reports. The benchmark suite under ``benchmarks/``
+drives these and asserts the expected *shapes* (who wins, by what factor).
+"""
+
+from repro.eval.report import Table
+
+__all__ = ["Table"]

@@ -1,0 +1,85 @@
+"""Run the complete evaluation and print every reproduced artifact.
+
+Usage::
+
+    python -m repro.eval             # everything
+    python -m repro.eval e3 e6       # selected experiments
+    python -m repro.eval --list
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Tuple
+
+from repro.eval.analytics import format_analytics, run_analytics
+from repro.eval.compiler import format_compiler, run_compiler
+from repro.eval.corfu import format_corfu, run_corfu
+from repro.eval.efficiency import format_efficiency, run_efficiency
+from repro.eval.fail2ban import format_fail2ban, run_fail2ban
+from repro.eval.figures import format_figures, run_figures
+from repro.eval.kvssd import format_kvssd, run_kvssd
+from repro.eval.loadbalancer import format_loadbalancer, run_loadbalancer
+from repro.eval.pointer_chase import format_pointer_chase, run_pointer_chase
+from repro.eval.predictability import format_predictability, run_predictability
+from repro.eval.reconfig import format_reconfig, run_reconfig
+from repro.eval.recovery import format_recovery, run_recovery
+from repro.eval.p2pdma import format_p2pdma, run_p2pdma
+from repro.eval.table1 import run_table1
+from repro.eval.translation import format_translation, run_translation
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "t1": ("Table 1: state-of-the-art matrix",
+           lambda: run_table1().render()),
+    "f12": ("Figures 1+2: BOM and schematic",
+            lambda: format_figures(run_figures())),
+    "e1": ("E1: volume + energy efficiency",
+           lambda: format_efficiency(run_efficiency())),
+    "e2": ("E2: pointer chasing",
+           lambda: format_pointer_chase(run_pointer_chase())),
+    "e3": ("E3: fail2ban",
+           lambda: format_fail2ban(run_fail2ban())),
+    "e4": ("E4: load balancer overflow",
+           lambda: format_loadbalancer(run_loadbalancer())),
+    "e5": ("E5: segment vs page translation",
+           lambda: format_translation(run_translation())),
+    "e6": ("E6: predictability + energy",
+           lambda: format_predictability(run_predictability())),
+    "e7": ("E7: partial reconfiguration",
+           lambda: format_reconfig(run_reconfig())),
+    "e8": ("E8: Corfu shared log",
+           lambda: format_corfu(run_corfu())),
+    "e9": ("E9: Parquet/Arrow end to end",
+           lambda: format_analytics(run_analytics())),
+    "e10": ("E10: eBPF->HDL compiler corpus",
+            lambda: format_compiler(run_compiler())),
+    "e11": ("E11: persistence + recovery",
+            lambda: format_recovery(run_recovery())),
+    "e12": ("E12: KV-SSD transports",
+            lambda: format_kvssd(run_kvssd())),
+    "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
+            lambda: format_p2pdma(run_p2pdma())),
+}
+
+
+def main(argv) -> int:
+    args = [arg.lower() for arg in argv[1:]]
+    if "--list" in args:
+        for key, (title, __) in EXPERIMENTS.items():
+            print(f"{key:>4}  {title}")
+        return 0
+    selected = args if args else list(EXPERIMENTS)
+    unknown = [key for key in selected if key not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see the available ids", file=sys.stderr)
+        return 2
+    for key in selected:
+        title, runner = EXPERIMENTS[key]
+        print(f"\n### {title}\n")
+        print(runner())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

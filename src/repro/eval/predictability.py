@@ -1,0 +1,126 @@
+"""E6: execution predictability and energy — FPGA pipeline vs CPU.
+
+Paper §2: "once an associated bitstream has been sent to the FPGA, the
+circuit runs a certain clock frequency without any outside interference,
+thus delivering energy efficient and predictable performance."
+
+The same verified program runs 1000x on the CPU model (interference
+jitter, preemptions) and on the compiled pipeline (fixed latency). Expected
+shape: the hardware latency distribution is a single point (sigma = 0, p99
+== p50) while the CPU's spreads; energy/op favors the DPU by roughly the
+TDP ratio x the time ratio.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+from repro.apps.fail2ban import BAN_MAP_FD, build_fail2ban_program
+from repro.baseline.cpu import CpuModel
+from repro.baseline.server import SUPERMICRO_X12
+from repro.ebpf.maps import HashMap
+from repro.ebpf.vm import BpfVm
+from repro.eval.report import Table
+from repro.hdl.engine import HardwarePipeline, compile_program
+from repro.power.energy import HYPERION_POWER, total_tdp
+from repro.sim import Simulator
+
+
+@dataclass
+class PredictabilityResult:
+    """Latency distribution and energy/op for one execution substrate."""
+
+    system: str
+    runs: int
+    mean_latency: float
+    stddev_latency: float
+    p50: float
+    p99: float
+    energy_per_op_j: float
+
+    @property
+    def jitter_ratio(self) -> float:
+        """p99 / p50 — 1.0 means perfectly predictable."""
+        return self.p99 / self.p50 if self.p50 else float("inf")
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def run_predictability(runs: int = 1000) -> List[PredictabilityResult]:
+    program = build_fail2ban_program()
+    context = bytes(8)
+
+    # -- hardware pipeline ----------------------------------------------------
+    sim = Simulator()
+    pipeline = HardwarePipeline(
+        sim, compile_program(program),
+        maps={BAN_MAP_FD: HashMap(8, 8, 65536)},
+    )
+    hw_samples: List[float] = []
+
+    def hw_scenario():
+        for _ in range(runs):
+            start = sim.now
+            yield from pipeline.execute(context)
+            hw_samples.append(sim.now - start)
+
+    sim.run_process(hw_scenario())
+    hw_time = sum(hw_samples)
+    hw = PredictabilityResult(
+        system="hyperion-pipeline",
+        runs=runs,
+        mean_latency=statistics.mean(hw_samples),
+        stddev_latency=statistics.pstdev(hw_samples),
+        p50=_percentile(hw_samples, 0.50),
+        p99=_percentile(hw_samples, 0.99),
+        energy_per_op_j=total_tdp(HYPERION_POWER) * hw_time / runs,
+    )
+
+    # -- CPU interpreter ------------------------------------------------------
+    sim = Simulator()
+    cpu = CpuModel(sim)
+    vm = BpfVm(program, maps={BAN_MAP_FD: HashMap(8, 8, 65536)})
+    cpu_samples: List[float] = []
+
+    def cpu_scenario():
+        for _ in range(runs):
+            start = sim.now
+            yield from cpu.execute_ebpf(vm, context)
+            cpu_samples.append(sim.now - start)
+
+    sim.run_process(cpu_scenario())
+    cpu_time = sum(cpu_samples)
+    cpu_result = PredictabilityResult(
+        system="cpu-interpreter",
+        runs=runs,
+        mean_latency=statistics.mean(cpu_samples),
+        stddev_latency=statistics.pstdev(cpu_samples),
+        p50=_percentile(cpu_samples, 0.50),
+        p99=_percentile(cpu_samples, 0.99),
+        energy_per_op_j=SUPERMICRO_X12.max_tdp_watts * cpu_time / runs,
+    )
+    return [hw, cpu_result]
+
+
+def format_predictability(results: List[PredictabilityResult]) -> str:
+    table = Table(
+        "E6: predictability and energy, hardware pipeline vs CPU software",
+        ["system", "mean", "stddev", "p50", "p99", "p99/p50", "energy/op"],
+    )
+    for r in results:
+        table.add_row(
+            r.system,
+            f"{r.mean_latency * 1e9:.1f} ns",
+            f"{r.stddev_latency * 1e9:.2f} ns",
+            f"{r.p50 * 1e9:.1f} ns",
+            f"{r.p99 * 1e9:.1f} ns",
+            f"{r.jitter_ratio:.3f}",
+            f"{r.energy_per_op_j * 1e9:.1f} nJ",
+        )
+    return table.render()

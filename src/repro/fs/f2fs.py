@@ -1,0 +1,169 @@
+"""A log-structured file system in the F2FS mold.
+
+Everything is an append to the log: file writes append data records, and a
+node-address table (NAT) in the checkpoint maps inode numbers to their
+latest record. Crash recovery = read the last checkpoint, then roll the log
+forward. Flash-native: no overwrites except the checkpoint block pair.
+
+Layout (4 KiB blocks)::
+
+    block 0    checkpoint A   (generation, log head, serialized NAT)
+    block 1    checkpoint B   (the valid checkpoint is the newer generation)
+    block 2..  the log: (inode u32, name_len u16, name, size u32, data)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import CapacityError, ProtocolError
+from repro.hw.nvme.namespace import LBA_SIZE, Namespace
+
+_CHECKPOINT_MAGIC = 0xF2F5
+LOG_START = 2
+
+_CP_HEAD = struct.Struct("<IIII")  # magic, generation, log_head, nat_count
+_NAT_ENTRY = struct.Struct("<II")  # inode, block
+_RECORD_HEAD = struct.Struct("<IHI")  # inode, name_len, size
+
+
+class LogStructuredFs:
+    """Append-only files keyed by path, with checkpointed NAT recovery."""
+
+    def __init__(self, namespace: Namespace):
+        self.namespace = namespace
+        self._nat: Dict[int, int] = {}  # inode -> log block of latest record
+        self._names: Dict[str, int] = {}  # path -> inode
+        self._log_head = LOG_START
+        self._generation = 0
+        self._next_inode = 1
+
+    @classmethod
+    def mkfs(cls, namespace: Namespace) -> "LogStructuredFs":
+        fs = cls(namespace)
+        fs.checkpoint()
+        return fs
+
+    # -- log records -------------------------------------------------------
+    def _append_record(self, inode: int, name: str, data: bytes) -> int:
+        encoded = name.encode()
+        record = _RECORD_HEAD.pack(inode, len(encoded), len(data)) + encoded + data
+        blocks = max(1, -(-len(record) // LBA_SIZE))
+        if self._log_head + blocks > self.namespace.capacity_blocks:
+            raise CapacityError("log full")
+        block = self._log_head
+        self.namespace.write_blocks(block, record)
+        self._log_head += blocks
+        self._nat[inode] = block
+        return block
+
+    def _read_record(self, block: int) -> Tuple[int, str, bytes]:
+        head_raw = self.namespace.read_blocks(block, 1)
+        inode, name_len, size = _RECORD_HEAD.unpack_from(head_raw, 0)
+        total = _RECORD_HEAD.size + name_len + size
+        blocks = max(1, -(-total // LBA_SIZE))
+        raw = self.namespace.read_blocks(block, blocks)
+        name = raw[_RECORD_HEAD.size : _RECORD_HEAD.size + name_len].decode()
+        data = raw[_RECORD_HEAD.size + name_len : total]
+        return inode, name, data
+
+    # -- public API --------------------------------------------------------
+    def write_file(self, path: str, data: bytes) -> int:
+        """Create or replace a file; returns its inode."""
+        inode = self._names.get(path)
+        if inode is None:
+            inode = self._next_inode
+            self._next_inode += 1
+            self._names[path] = inode
+        self._append_record(inode, path, data)
+        return inode
+
+    def read_file(self, path: str) -> bytes:
+        inode = self._names.get(path)
+        if inode is None:
+            raise FileNotFoundError(path)
+        block = self._nat.get(inode)
+        if block is None:
+            raise ProtocolError(f"NAT missing inode {inode}")
+        __, ___, data = self._read_record(block)
+        return data
+
+    def listdir(self) -> List[str]:
+        return sorted(self._names)
+
+    def nat_entry(self, path: str) -> Tuple[int, int]:
+        """(inode, log block) — the indirection the annotation walker chases."""
+        inode = self._names[path]
+        return inode, self._nat[inode]
+
+    # -- checkpointing and recovery ---------------------------------------
+    def checkpoint(self) -> None:
+        """Persist the NAT + name table into the older checkpoint slot."""
+        self._generation += 1
+        names_blob = "\x00".join(
+            f"{path}\x01{inode}" for path, inode in self._names.items()
+        ).encode()
+        body = _CP_HEAD.pack(
+            _CHECKPOINT_MAGIC, self._generation, self._log_head, len(self._nat)
+        )
+        body += b"".join(
+            _NAT_ENTRY.pack(inode, block) for inode, block in self._nat.items()
+        )
+        body += struct.pack("<I", len(names_blob)) + names_blob
+        if len(body) > LBA_SIZE:
+            raise CapacityError("checkpoint exceeds one block")
+        slot = self._generation % 2  # alternate A/B
+        self.namespace.write_blocks(slot, body)
+
+    @classmethod
+    def recover(cls, namespace: Namespace) -> "LogStructuredFs":
+        """Mount after a crash: newest valid checkpoint + log roll-forward."""
+        best: Optional[Tuple[int, int, bytes]] = None
+        for slot in (0, 1):
+            raw = namespace.read_blocks(slot, 1)
+            magic, generation, log_head, nat_count = _CP_HEAD.unpack_from(raw, 0)
+            if magic == _CHECKPOINT_MAGIC:
+                if best is None or generation > best[0]:
+                    best = (generation, log_head, raw)
+        if best is None:
+            raise ProtocolError("no valid checkpoint found")
+        generation, checkpointed_head, raw = best
+        fs = cls(namespace)
+        fs._generation = generation
+        __, ___, ____, nat_count = _CP_HEAD.unpack_from(raw, 0)
+        at = _CP_HEAD.size
+        for _ in range(nat_count):
+            inode, block = _NAT_ENTRY.unpack_from(raw, at)
+            at += _NAT_ENTRY.size
+            fs._nat[inode] = block
+        (names_len,) = struct.unpack_from("<I", raw, at)
+        at += 4
+        names_blob = raw[at : at + names_len].decode()
+        if names_blob:
+            for item in names_blob.split("\x00"):
+                path, inode = item.split("\x01")
+                fs._names[path] = int(inode)
+        fs._next_inode = max(fs._nat, default=0) + 1
+        fs._log_head = checkpointed_head
+        # Roll forward: records appended after the checkpoint.
+        fs._roll_forward()
+        return fs
+
+    def _roll_forward(self) -> None:
+        block = self._log_head
+        while block < self.namespace.capacity_blocks:
+            head = self.namespace.read_blocks(block, 1)
+            inode, name_len, size = _RECORD_HEAD.unpack_from(head, 0)
+            if inode == 0 or name_len == 0 or name_len > 1024:
+                break  # end of log
+            try:
+                __, name, ___ = self._read_record(block)
+            except Exception:
+                break
+            self._nat[inode] = block
+            self._names[name] = inode
+            self._next_inode = max(self._next_inode, inode + 1)
+            total = _RECORD_HEAD.size + name_len + size
+            block += max(1, -(-total // LBA_SIZE))
+        self._log_head = block

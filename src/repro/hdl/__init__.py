@@ -1,0 +1,36 @@
+"""eBPF-to-HDL compilation: the backend half of the paper's §2.2 pipeline.
+
+The flow mirrors the open-source compilers the paper builds on (hXDP, eHDL,
+eBPF program warping): take verified eBPF, extract instruction-level
+parallelism from the dataflow graph, fuse adjacent instructions into macro
+operations, schedule the result into pipeline stages, emit a Verilog-like
+module, and estimate FPGA area and clock frequency. The executable
+:class:`HardwarePipeline` model gives the compiled program its defining
+hardware property: fixed-latency, zero-jitter execution (paper §2's
+"predictable performance").
+"""
+
+from repro.hdl.dataflow import BasicBlock, DataflowGraph, build_cfg, build_dfg
+from repro.hdl.fusion import FusedOp, fuse_instructions
+from repro.hdl.schedule import PipelineSchedule, schedule_pipeline
+from repro.hdl.codegen import generate_verilog
+from repro.hdl.resources import AreaEstimate, estimate_area, estimate_fmax
+from repro.hdl.engine import CompiledPipeline, HardwarePipeline, compile_program
+
+__all__ = [
+    "BasicBlock",
+    "DataflowGraph",
+    "build_cfg",
+    "build_dfg",
+    "FusedOp",
+    "fuse_instructions",
+    "PipelineSchedule",
+    "schedule_pipeline",
+    "generate_verilog",
+    "AreaEstimate",
+    "estimate_area",
+    "estimate_fmax",
+    "CompiledPipeline",
+    "HardwarePipeline",
+    "compile_program",
+]

@@ -1,0 +1,142 @@
+"""The compiler driver and the executable hardware-pipeline model.
+
+``compile_program`` runs the full §2.2 flow: verify -> extract parallelism
+-> fuse -> schedule -> codegen -> estimate. The resulting
+:class:`HardwarePipeline` executes programs with *fixed* latency and an
+initiation-interval-limited accept rate — the zero-jitter property that the
+predictability experiment (E6) measures against CPU execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import VerificationError
+from repro.ebpf.helpers import HelperRegistry
+from repro.ebpf.isa import Program
+from repro.ebpf.maps import BpfMap
+from repro.ebpf.vm import BpfVm, ExecutionResult
+from repro.hw.fpga.bitstream import Bitstream
+from repro.ebpf.verifier import Verifier, VerifierReport
+from repro.hdl.codegen import generate_verilog
+from repro.hdl.resources import AreaEstimate, estimate
+from repro.hdl.schedule import PipelineSchedule, schedule_pipeline
+from repro.sim import Resource, Simulator
+
+
+@dataclass
+class CompiledPipeline:
+    """Everything the compiler produces for one program."""
+
+    program: Program
+    schedule: PipelineSchedule
+    verilog: str
+    area: AreaEstimate
+    verifier_report: VerifierReport
+
+    def to_bitstream(self, name: Optional[str] = None) -> Bitstream:
+        """Package as a loadable bitstream for a reconfigurable slot.
+
+        Bitstream size scales with consumed area. The floor is the partial
+        image of one slot (~1/5 of a U280's ~60 MiB configuration space);
+        at ICAP bandwidth that lands loads in the paper's 10-100 ms band.
+        """
+        frames = max(1, self.area.resources.luts // 8)
+        size_bytes = 12 * 1024 * 1024 + frames * 1024
+        return Bitstream(
+            name=name or self.program.name,
+            resources=self.area.resources,
+            size_bytes=size_bytes,
+            clock_hz=self.area.fmax_hz,
+            kernel=self,
+        )
+
+
+def compile_program(
+    program: Program,
+    verify: bool = True,
+    fuse: bool = True,
+    optimize: bool = False,
+    memory_ports: int = 2,
+    helpers: Optional[HelperRegistry] = None,
+    allow_bounded_loops: bool = False,
+) -> CompiledPipeline:
+    """Verify and compile an eBPF program into a hardware pipeline.
+
+    ``optimize=True`` runs the warping-style folding/DCE passes
+    (:mod:`repro.hdl.optimize`) before scheduling.
+    """
+    if verify:
+        report = Verifier(
+            helpers=helpers, allow_bounded_loops=allow_bounded_loops
+        ).verify(program)
+        if not report.ok:
+            raise VerificationError(
+                f"program {program.name!r} rejected: {report.reject_reason()}"
+            )
+    else:
+        report = VerifierReport(ok=True)
+    if optimize:
+        from repro.hdl.optimize import optimize_straightline
+
+        program = optimize_straightline(program)
+    schedule = schedule_pipeline(program, fuse=fuse, memory_ports=memory_ports)
+    return CompiledPipeline(
+        program=program,
+        schedule=schedule,
+        verilog=generate_verilog(schedule),
+        area=estimate(schedule),
+        verifier_report=report,
+    )
+
+
+class HardwarePipeline:
+    """Executes a compiled program with hardware timing semantics.
+
+    * Results are functionally identical to the interpreter (the pipeline
+      wraps a :class:`BpfVm` for semantics).
+    * Latency is **fixed**: ``depth / f_max`` for every input, no jitter.
+    * Throughput is bounded by the initiation interval: the input port is
+      held for ``II`` cycles per accepted tuple.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        compiled: CompiledPipeline,
+        maps: Optional[Dict[int, BpfMap]] = None,
+        helpers: Optional[HelperRegistry] = None,
+    ):
+        self.sim = sim
+        self.compiled = compiled
+        self._vm = BpfVm(compiled.program, maps=maps, helpers=helpers)
+        self._input_port = Resource(sim, capacity=1)
+        self.executions = 0
+
+    @property
+    def latency(self) -> float:
+        return self.compiled.area.fixed_latency
+
+    @property
+    def accept_interval(self) -> float:
+        area = self.compiled.area
+        return area.initiation_interval * area.cycle_time
+
+    def execute(self, context: bytes = b""):
+        """Process: one input through the pipeline; returns ExecutionResult."""
+        yield self._input_port.request()
+        try:
+            # The port is busy for II cycles per input...
+            yield self.sim.timeout(self.accept_interval)
+        finally:
+            self._input_port.release()
+        # ...then the input drains through the remaining stages.
+        remaining = max(0.0, self.latency - self.accept_interval)
+        yield self.sim.timeout(remaining)
+        self.executions += 1
+        return self._vm.run(context)
+
+    def execute_now(self, context: bytes = b"") -> ExecutionResult:
+        """Functional-only execution (no simulated time)."""
+        return self._vm.run(context)

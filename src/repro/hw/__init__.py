@@ -1,0 +1,1 @@
+"""Hardware substrates: FPGA fabric, PCIe, NVMe flash, and Ethernet."""

@@ -1,0 +1,67 @@
+"""FPGA area resource bundles (LUTs, FFs, BRAM, URAM, DSP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FabricResources:
+    """A bundle of FPGA area resources.
+
+    Bundles support addition, subtraction, and budget checks so slots and
+    compiled pipelines can negotiate placement.
+    """
+
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    urams: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "FabricResources") -> "FabricResources":
+        return FabricResources(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.brams + other.brams,
+            self.urams + other.urams,
+            self.dsps + other.dsps,
+        )
+
+    def __sub__(self, other: "FabricResources") -> "FabricResources":
+        return FabricResources(
+            self.luts - other.luts,
+            self.ffs - other.ffs,
+            self.brams - other.brams,
+            self.urams - other.urams,
+            self.dsps - other.dsps,
+        )
+
+    def fits_within(self, budget: "FabricResources") -> bool:
+        return (
+            self.luts <= budget.luts
+            and self.ffs <= budget.ffs
+            and self.brams <= budget.brams
+            and self.urams <= budget.urams
+            and self.dsps <= budget.dsps
+        )
+
+    def scaled(self, fraction: float) -> "FabricResources":
+        """A proportional share of this bundle (used to carve slots)."""
+        return FabricResources(
+            int(self.luts * fraction),
+            int(self.ffs * fraction),
+            int(self.brams * fraction),
+            int(self.urams * fraction),
+            int(self.dsps * fraction),
+        )
+
+
+#: Alveo U280 device resources (XCU280 datasheet).
+ALVEO_U280 = FabricResources(
+    luts=1_304_000,
+    ffs=2_607_000,
+    brams=2_016,
+    urams=960,
+    dsps=9_024,
+)

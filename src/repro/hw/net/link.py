@@ -1,0 +1,71 @@
+"""Point-to-point links with serialization and propagation delay."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.units import gbps
+from repro.hw.net.frames import Frame
+from repro.sim import Resource, Simulator, Store
+
+#: 100 Gbit/s in bytes/second.
+QSFP28_100G = gbps(100)
+
+#: Propagation within one datacenter rack/row (~2-5 us is typical including
+#: switch transit; links default to 1 us each way and switches add more).
+DEFAULT_PROPAGATION = 1e-6
+
+
+class Link:
+    """A unidirectional link delivering frames into a receive queue.
+
+    The transmitter is a unit-capacity resource, so back-to-back frames
+    serialize at line rate; propagation is pipelined (multiple frames can be
+    in flight).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = QSFP28_100G,
+        propagation: float = DEFAULT_PROPAGATION,
+        loss_fn: Optional[Callable[[Frame], bool]] = None,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation < 0:
+            raise ValueError("propagation must be non-negative")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.rx_queue: Store = Store(sim)
+        self._tx = Resource(sim, capacity=1)
+        self._loss_fn = loss_fn
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    def serialization_delay(self, frame: Frame) -> float:
+        return frame.wire_size / self.bandwidth
+
+    def transmit(self, frame: Frame):
+        """Process: serialize the frame, then deliver after propagation."""
+        yield self._tx.request()
+        try:
+            yield self.sim.timeout(self.serialization_delay(frame))
+        finally:
+            self._tx.release()
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_size
+        if self._loss_fn is not None and self._loss_fn(frame):
+            self.frames_dropped += 1
+            return
+        self.sim.process(self._deliver(frame))
+
+    def _deliver(self, frame: Frame):
+        yield self.sim.timeout(self.propagation)
+        yield self.rx_queue.put(frame)
+
+    def receive(self):
+        """Event: the next frame out of the receive queue."""
+        return self.rx_queue.get()

@@ -1,0 +1,47 @@
+"""A named, bidirectional network endpoint (one QSFP cage or host NIC)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.hw.net.frames import Frame
+from repro.hw.net.link import Link
+from repro.sim import Simulator
+
+
+class NetworkPort:
+    """A device-side attachment point with a TX link per peer.
+
+    Ports are wired together by a :class:`repro.hw.net.switch.Network`; the
+    port only knows "to reach address X, transmit on link L".
+    """
+
+    def __init__(self, sim: Simulator, address: str):
+        self.sim = sim
+        self.address = address
+        self._routes: Dict[str, Link] = {}
+        self.rx_link: Optional[Link] = None
+
+    def attach_rx(self, link: Link) -> None:
+        self.rx_link = link
+
+    def add_route(self, destination: str, link: Link) -> None:
+        self._routes[destination] = link
+
+    def send(self, frame: Frame):
+        """Process: transmit a frame toward its destination."""
+        link = self._routes.get(frame.dst)
+        if link is None:
+            link = self._routes.get("*")
+        if link is None:
+            raise ConfigurationError(
+                f"port {self.address} has no route to {frame.dst}"
+            )
+        yield from link.transmit(frame)
+
+    def receive(self):
+        """Event: next frame arriving at this port."""
+        if self.rx_link is None:
+            raise ConfigurationError(f"port {self.address} has no RX link")
+        return self.rx_link.receive()

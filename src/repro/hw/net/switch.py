@@ -1,0 +1,90 @@
+"""A store-and-forward switch and a convenience star-topology network."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import ConfigurationError
+from repro.hw.net.link import DEFAULT_PROPAGATION, QSFP28_100G, Link
+from repro.hw.net.port import NetworkPort
+from repro.sim import Simulator
+
+#: Cut-through datacenter switches forward in ~300-600 ns.
+SWITCH_FORWARD_LATENCY = 500e-9
+
+
+class Switch:
+    """Forwards frames between attached links by destination address."""
+
+    def __init__(self, sim: Simulator, forward_latency: float = SWITCH_FORWARD_LATENCY):
+        self.sim = sim
+        self.forward_latency = forward_latency
+        self._egress: Dict[str, Link] = {}
+        self.frames_forwarded = 0
+
+    def connect_egress(self, address: str, link: Link) -> None:
+        self._egress[address] = link
+
+    def attach_ingress(self, link: Link) -> None:
+        """Start a forwarding process draining the given ingress link."""
+        self.sim.process(self._forward_loop(link))
+
+    def _forward_loop(self, ingress: Link):
+        while True:
+            frame = yield ingress.receive()
+            yield self.sim.timeout(self.forward_latency)
+            egress = self._egress.get(frame.dst)
+            if egress is None:
+                # Unknown destination: drop, as a real switch floods/drops.
+                continue
+            self.frames_forwarded += 1
+            self.sim.process(egress.transmit(frame))
+
+
+class Network:
+    """A star topology: every endpoint hangs off one switch.
+
+    ``network.endpoint("name")`` creates (or returns) a port whose frames
+    traverse endpoint->switch and switch->destination links, giving a
+    realistic two-hop RTT with serialization at each hop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = QSFP28_100G,
+        propagation: float = DEFAULT_PROPAGATION,
+    ):
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.switch = Switch(sim)
+        self._ports: Dict[str, NetworkPort] = {}
+
+    def endpoint(self, address: str) -> NetworkPort:
+        if address in self._ports:
+            return self._ports[address]
+        port = NetworkPort(self.sim, address)
+        uplink = Link(self.sim, self.bandwidth, self.propagation)
+        downlink = Link(self.sim, self.bandwidth, self.propagation)
+        port.add_route("*", uplink)
+        port.attach_rx(downlink)
+        self.switch.attach_ingress(uplink)
+        self.switch.connect_egress(address, downlink)
+        self._ports[address] = port
+        return port
+
+    def port(self, address: str) -> NetworkPort:
+        if address not in self._ports:
+            raise ConfigurationError(f"no endpoint named {address}")
+        return self._ports[address]
+
+    def one_way_delay(self, payload_size: int) -> float:
+        """Analytic minimum latency endpoint-to-endpoint for one frame."""
+        wire = payload_size + 38
+        serialization = 2 * (wire / self.bandwidth)
+        return serialization + 2 * self.propagation + self.switch.forward_latency
+
+    def min_rtt(self, request_size: int, response_size: int) -> float:
+        """Analytic minimum request/response round trip."""
+        return self.one_way_delay(request_size) + self.one_way_delay(response_size)

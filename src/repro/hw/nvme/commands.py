@@ -1,0 +1,61 @@
+"""NVMe command and completion formats (the subset Hyperion uses)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class NvmeOpcode(enum.Enum):
+    """Command opcodes (the subset of the NVMe spec Hyperion uses)."""
+
+    READ = 0x02
+    WRITE = 0x01
+    FLUSH = 0x00
+    ZONE_APPEND = 0x7D
+    ZONE_RESET = 0x7C
+
+
+class NvmeStatus(enum.Enum):
+    """Completion status codes."""
+
+    SUCCESS = 0x0
+    INVALID_OPCODE = 0x1
+    LBA_OUT_OF_RANGE = 0x80
+    ZONE_FULL = 0xB9
+    ZONE_INVALID_WRITE = 0xBC
+
+
+_cid_counter = itertools.count()
+
+
+@dataclass
+class NvmeCommand:
+    """One submission-queue entry."""
+
+    opcode: NvmeOpcode
+    namespace_id: int = 1
+    lba: int = 0
+    block_count: int = 1
+    data: Optional[bytes] = None
+    cid: int = field(default_factory=lambda: next(_cid_counter))
+
+    def __post_init__(self) -> None:
+        if self.block_count < 1:
+            raise ValueError("block_count must be >= 1")
+
+
+@dataclass
+class NvmeCompletion:
+    """One completion-queue entry."""
+
+    cid: int
+    status: NvmeStatus
+    data: Optional[bytes] = None
+    result_lba: Optional[int] = None  # assigned LBA for ZONE_APPEND
+
+    @property
+    def ok(self) -> bool:
+        return self.status is NvmeStatus.SUCCESS

@@ -1,0 +1,185 @@
+"""The NVMe controller: queue pairs, command execution, flash timing.
+
+Hyperion instantiates an "NVMe Host IP Core" on the FPGA (Figure 2): the
+FPGA is the NVMe *host* and the SSDs are ordinary endpoints. This class
+models one SSD's controller; the DPU submits commands into its queues over
+the bifurcated PCIe links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import CapacityError, ProtocolError
+from repro.hw.nvme.commands import NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus
+from repro.hw.nvme.flash import FlashArray
+from repro.hw.nvme.namespace import LBA_SIZE, Namespace
+from repro.hw.nvme.zns import ZonedNamespace
+from repro.hw.pcie.device import Bar, PcieDevice
+from repro.hw.pcie.link import PcieLink
+from repro.sim import Event, Simulator, Store
+
+#: Firmware command decode + completion posting overhead.
+CONTROLLER_LATENCY = 2e-6
+
+AnyNamespace = Union[Namespace, ZonedNamespace]
+
+
+class NvmeQueuePair:
+    """One submission/completion queue pair with bounded depth."""
+
+    def __init__(self, sim: Simulator, qid: int, depth: int = 256):
+        self.sim = sim
+        self.qid = qid
+        self.depth = depth
+        self.sq: Store = Store(sim, capacity=depth)
+        self._waiters: Dict[int, Event] = {}
+
+    def submit(self, command: NvmeCommand) -> Event:
+        """Queue a command; the returned event fires with its completion."""
+        done = Event(self.sim)
+        self._waiters[command.cid] = done
+        self.sim.process(self._enqueue(command))
+        return done
+
+    def _enqueue(self, command: NvmeCommand):
+        yield self.sq.put(command)
+
+    def complete(self, completion: NvmeCompletion) -> None:
+        waiter = self._waiters.pop(completion.cid, None)
+        if waiter is None:
+            raise ProtocolError(f"completion for unknown cid {completion.cid}")
+        waiter.succeed(completion)
+
+
+class NvmeController(PcieDevice):
+    """One SSD: controller firmware + flash array + namespaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        namespaces: Optional[Dict[int, AnyNamespace]] = None,
+        flash: Optional[FlashArray] = None,
+        link: Optional[PcieLink] = None,
+        queue_depth: int = 256,
+    ):
+        super().__init__(name, bars=[Bar(16 * 1024)])
+        self.sim = sim
+        self.namespaces: Dict[int, AnyNamespace] = namespaces or {}
+        self.flash = flash if flash is not None else FlashArray(sim)
+        self.link = link
+        self.queue_pairs: List[NvmeQueuePair] = []
+        self._queue_depth = queue_depth
+        self.commands_executed = 0
+        self._started = False
+
+    def add_namespace(self, namespace: AnyNamespace) -> None:
+        self.namespaces[namespace.namespace_id] = namespace
+
+    def create_queue_pair(self) -> NvmeQueuePair:
+        qp = NvmeQueuePair(self.sim, qid=len(self.queue_pairs), depth=self._queue_depth)
+        self.queue_pairs.append(qp)
+        if self._started:
+            self.sim.process(self._queue_loop(qp))
+        return qp
+
+    def start(self) -> None:
+        """Begin draining all queue pairs (call once after setup)."""
+        if self._started:
+            return
+        self._started = True
+        for qp in self.queue_pairs:
+            self.sim.process(self._queue_loop(qp))
+
+    def _queue_loop(self, qp: NvmeQueuePair):
+        while True:
+            command = yield qp.sq.get()
+            # Dispatch without waiting: NVMe executes queued commands in
+            # parallel across flash dies.
+            self.sim.process(self._execute(qp, command))
+
+    # -- command execution ---------------------------------------------------
+    def _execute(self, qp: NvmeQueuePair, command: NvmeCommand):
+        yield self.sim.timeout(CONTROLLER_LATENCY)
+        namespace = self.namespaces.get(command.namespace_id)
+        if namespace is None:
+            qp.complete(NvmeCompletion(command.cid, NvmeStatus.LBA_OUT_OF_RANGE))
+            return
+        try:
+            if command.opcode is NvmeOpcode.READ:
+                completion = yield from self._do_read(namespace, command)
+            elif command.opcode is NvmeOpcode.WRITE:
+                completion = yield from self._do_write(namespace, command)
+            elif command.opcode is NvmeOpcode.FLUSH:
+                completion = NvmeCompletion(command.cid, NvmeStatus.SUCCESS)
+            elif command.opcode is NvmeOpcode.ZONE_APPEND:
+                completion = yield from self._do_append(namespace, command)
+            elif command.opcode is NvmeOpcode.ZONE_RESET:
+                completion = yield from self._do_reset(namespace, command)
+            else:
+                completion = NvmeCompletion(command.cid, NvmeStatus.INVALID_OPCODE)
+        except (CapacityError, ProtocolError):
+            completion = NvmeCompletion(command.cid, NvmeStatus.LBA_OUT_OF_RANGE)
+        self.commands_executed += 1
+        qp.complete(completion)
+
+    def _dma(self, size_bytes: int):
+        if self.link is not None:
+            yield from self.link.transfer(size_bytes)
+
+    def _do_read(self, namespace: AnyNamespace, command: NvmeCommand):
+        # The FTL stripes a multi-block command across dies in parallel.
+        reads = [
+            self.sim.process(self.flash.read_page(command.lba + i))
+            for i in range(command.block_count)
+        ]
+        yield self.sim.all_of(reads)
+        try:
+            data = namespace.read_blocks(command.lba, command.block_count)
+        except ProtocolError:
+            return NvmeCompletion(command.cid, NvmeStatus.ZONE_INVALID_WRITE)
+        yield from self._dma(len(data))
+        return NvmeCompletion(command.cid, NvmeStatus.SUCCESS, data=data)
+
+    def _do_write(self, namespace: AnyNamespace, command: NvmeCommand):
+        payload = command.data if command.data is not None else b""
+        yield from self._dma(max(len(payload), command.block_count * LBA_SIZE))
+        if isinstance(namespace, ZonedNamespace):
+            try:
+                namespace.write(command.lba, payload)
+            except ProtocolError:
+                return NvmeCompletion(command.cid, NvmeStatus.ZONE_INVALID_WRITE)
+        else:
+            namespace.write_blocks(command.lba, payload)
+        count = max(1, (len(payload) + LBA_SIZE - 1) // LBA_SIZE)
+        programs = [
+            self.sim.process(self.flash.program_page(command.lba + i))
+            for i in range(count)
+        ]
+        yield self.sim.all_of(programs)
+        return NvmeCompletion(command.cid, NvmeStatus.SUCCESS)
+
+    def _do_append(self, namespace: AnyNamespace, command: NvmeCommand):
+        if not isinstance(namespace, ZonedNamespace):
+            return NvmeCompletion(command.cid, NvmeStatus.INVALID_OPCODE)
+        payload = command.data if command.data is not None else b""
+        yield from self._dma(len(payload))
+        try:
+            # command.lba names the zone by its start LBA for appends.
+            zone = namespace.zone_for_lba(command.lba)
+            lba = namespace.append(zone.index, payload)
+        except ProtocolError:
+            return NvmeCompletion(command.cid, NvmeStatus.ZONE_FULL)
+        count = max(1, (len(payload) + LBA_SIZE - 1) // LBA_SIZE)
+        for i in range(count):
+            yield from self.flash.program_page(lba + i)
+        return NvmeCompletion(command.cid, NvmeStatus.SUCCESS, result_lba=lba)
+
+    def _do_reset(self, namespace: AnyNamespace, command: NvmeCommand):
+        if not isinstance(namespace, ZonedNamespace):
+            return NvmeCompletion(command.cid, NvmeStatus.INVALID_OPCODE)
+        zone = namespace.zone_for_lba(command.lba)
+        yield from self.flash.erase_block(zone.start_lba)
+        namespace.reset_zone(zone.index)
+        return NvmeCompletion(command.cid, NvmeStatus.SUCCESS)

@@ -1,0 +1,105 @@
+"""NAND flash timing: channels, dies, and per-die operation queueing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.sim import Resource, Simulator
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Timing parameters of one NAND generation (TLC-class defaults)."""
+
+    page_size: int = 4096
+    read_latency: float = 80e-6
+    program_latency: float = 500e-6
+    erase_latency: float = 3e-3
+    channel_bandwidth: float = 800e6  # ONFI transfer rate, bytes/s
+
+
+class FlashArray:
+    """``channels x dies_per_channel`` NAND dies with independent queues.
+
+    Page addresses stripe across dies, so sequential and random multi-page
+    workloads exploit die-level parallelism — the property NVMe queue depth
+    is designed to expose.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channels: int = 8,
+        dies_per_channel: int = 4,
+        timing: FlashTiming = FlashTiming(),
+    ):
+        if channels < 1 or dies_per_channel < 1:
+            raise ConfigurationError("need at least one channel and die")
+        self.sim = sim
+        self.timing = timing
+        self.channels = channels
+        self.dies_per_channel = dies_per_channel
+        self._dies: List[Resource] = [
+            Resource(sim, capacity=1) for _ in range(channels * dies_per_channel)
+        ]
+        self._channels: List[Resource] = [
+            Resource(sim, capacity=1) for _ in range(channels)
+        ]
+        self.reads = 0
+        self.programs = 0
+
+    @property
+    def die_count(self) -> int:
+        return len(self._dies)
+
+    def _die_for_page(self, page_index: int) -> int:
+        return page_index % self.die_count
+
+    def _channel_for_die(self, die_index: int) -> int:
+        return die_index % self.channels
+
+    def _transfer_time(self) -> float:
+        return self.timing.page_size / self.timing.channel_bandwidth
+
+    def read_page(self, page_index: int):
+        """Process: one page read (array cell read + channel transfer)."""
+        die_index = self._die_for_page(page_index)
+        yield self._dies[die_index].request()
+        try:
+            yield self.sim.timeout(self.timing.read_latency)
+        finally:
+            self._dies[die_index].release()
+        channel = self._channels[self._channel_for_die(die_index)]
+        yield channel.request()
+        try:
+            yield self.sim.timeout(self._transfer_time())
+            self.reads += 1
+        finally:
+            channel.release()
+
+    def program_page(self, page_index: int):
+        """Process: one page program (channel transfer + cell program)."""
+        die_index = self._die_for_page(page_index)
+        channel = self._channels[self._channel_for_die(die_index)]
+        yield channel.request()
+        try:
+            yield self.sim.timeout(self._transfer_time())
+        finally:
+            channel.release()
+        yield self._dies[die_index].request()
+        try:
+            yield self.sim.timeout(self.timing.program_latency)
+            self.programs += 1
+        finally:
+            self._dies[die_index].release()
+
+    def erase_block(self, page_index: int):
+        """Process: erase the block containing ``page_index``."""
+        die_index = self._die_for_page(page_index)
+        yield self._dies[die_index].request()
+        try:
+            yield self.sim.timeout(self.timing.erase_latency)
+        finally:
+            self._dies[die_index].release()

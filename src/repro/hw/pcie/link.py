@@ -1,0 +1,62 @@
+"""PCIe link timing: lane width, generation, and TLP overhead."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.sim import Resource, Simulator
+
+#: Effective per-lane payload bandwidth (bytes/s) after 128b/130b encoding
+#: and protocol overhead, per generation.
+PCIE_GEN3_PER_LANE = 0.985e9
+PCIE_GEN4_PER_LANE = 1.97e9
+
+#: Transaction-layer packet header + DLLP overhead amortized per TLP, and
+#: the max payload per TLP.
+TLP_OVERHEAD_BYTES = 26
+TLP_MAX_PAYLOAD = 256
+
+#: One-way latency through a PCIe link + switch logic.
+PCIE_HOP_LATENCY = 250e-9
+
+
+class PcieLink:
+    """A bidirectional PCIe link of ``lanes`` width.
+
+    ``transfer`` charges serialization (with per-TLP overhead) plus a fixed
+    hop latency; concurrent transfers serialize on the link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lanes: int = 4,
+        per_lane_bandwidth: float = PCIE_GEN3_PER_LANE,
+        hop_latency: float = PCIE_HOP_LATENCY,
+    ):
+        if lanes not in (1, 2, 4, 8, 16):
+            raise ConfigurationError(f"invalid PCIe lane width: {lanes}")
+        self.sim = sim
+        self.lanes = lanes
+        self.bandwidth = lanes * per_lane_bandwidth
+        self.hop_latency = hop_latency
+        self._channel = Resource(sim, capacity=1)
+        self.bytes_transferred = 0
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Payload plus amortized TLP overhead."""
+        if payload_bytes <= 0:
+            return TLP_OVERHEAD_BYTES
+        tlps = (payload_bytes + TLP_MAX_PAYLOAD - 1) // TLP_MAX_PAYLOAD
+        return payload_bytes + tlps * TLP_OVERHEAD_BYTES
+
+    def transfer_latency(self, payload_bytes: int) -> float:
+        return self.hop_latency + self.wire_bytes(payload_bytes) / self.bandwidth
+
+    def transfer(self, payload_bytes: int):
+        """Process: move ``payload_bytes`` across the link."""
+        yield self._channel.request()
+        try:
+            yield self.sim.timeout(self.transfer_latency(payload_bytes))
+            self.bytes_transferred += payload_bytes
+        finally:
+            self._channel.release()

@@ -1,0 +1,126 @@
+"""Hint- and access-driven segment tiering (paper §2.1).
+
+"we expect hints-based allocation should also be possible where temporary
+and/or performance-critical objects are allocated or eventually promoted to
+DRAM or HBM."
+
+The policy watches per-segment access counts between epochs and migrates:
+
+* hot NVMe segments (non-durable) up to DRAM (or HBM when available);
+* cold DRAM segments down to NVMe when DRAM pressure crosses a watermark.
+
+It is deliberately mechanism-over-policy thin: `run_epoch` is called by
+whoever owns the control loop (the OS-shell, a timer process, a test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.ids import ObjectId
+from repro.memory.segments import Segment, SegmentLocation
+from repro.memory.store import SingleLevelStore
+
+
+@dataclass
+class TieringDecision:
+    """One migration: which segment moved where, and why."""
+
+    oid: ObjectId
+    moved_from: SegmentLocation
+    moved_to: SegmentLocation
+    accesses_in_epoch: int
+
+
+@dataclass
+class TieringStats:
+    """Cumulative promotion/demotion counts across epochs."""
+
+    epochs: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    decisions: List[TieringDecision] = field(default_factory=list)
+
+
+class TieringPolicy:
+    """Epoch-based promotion/demotion over a :class:`SingleLevelStore`."""
+
+    def __init__(
+        self,
+        store: SingleLevelStore,
+        hot_threshold: int = 8,
+        cold_threshold: int = 0,
+        dram_high_watermark: float = 0.9,
+        prefer_hbm: bool = False,
+        max_moves_per_epoch: int = 16,
+    ):
+        self.store = store
+        self.hot_threshold = hot_threshold
+        self.cold_threshold = cold_threshold
+        self.dram_high_watermark = dram_high_watermark
+        self.prefer_hbm = prefer_hbm and store.hbm is not None
+        self.max_moves_per_epoch = max_moves_per_epoch
+        self.stats = TieringStats()
+        self._last_counts: Dict[ObjectId, int] = {}
+
+    # -- internals -------------------------------------------------------------
+    def _epoch_accesses(self, segment: Segment) -> int:
+        return segment.access_count - self._last_counts.get(segment.oid, 0)
+
+    def _dram_pressure(self) -> float:
+        allocator = self.store._allocators[SegmentLocation.DRAM]
+        return allocator.bytes_used / allocator.capacity
+
+    def _fast_tier(self) -> SegmentLocation:
+        return SegmentLocation.HBM if self.prefer_hbm else SegmentLocation.DRAM
+
+    # -- the policy ------------------------------------------------------------
+    def run_epoch(self) -> List[TieringDecision]:
+        """Inspect counters since the last epoch and migrate segments."""
+        decisions: List[TieringDecision] = []
+        moves = 0
+
+        # Promotions: hot flash-resident, non-durable segments move up.
+        for segment in list(self.store.segments_at(SegmentLocation.NVME)):
+            if moves >= self.max_moves_per_epoch:
+                break
+            if segment.durable:
+                continue  # durability pins segments to flash (paper §2.1)
+            accesses = self._epoch_accesses(segment)
+            if accesses >= self.hot_threshold:
+                target = self._fast_tier()
+                self.store.promote(segment.oid, target)
+                decisions.append(
+                    TieringDecision(segment.oid, SegmentLocation.NVME,
+                                    target, accesses)
+                )
+                self.stats.promotions += 1
+                moves += 1
+
+        # Demotions: under DRAM pressure, idle segments move down.
+        if self._dram_pressure() > self.dram_high_watermark:
+            candidates = sorted(
+                self.store.segments_at(SegmentLocation.DRAM),
+                key=self._epoch_accesses,
+            )
+            for segment in candidates:
+                if moves >= self.max_moves_per_epoch:
+                    break
+                if self._epoch_accesses(segment) > self.cold_threshold:
+                    break  # sorted: the rest are warmer
+                self.store.promote(segment.oid, SegmentLocation.NVME)
+                decisions.append(
+                    TieringDecision(segment.oid, SegmentLocation.DRAM,
+                                    SegmentLocation.NVME,
+                                    self._epoch_accesses(segment))
+                )
+                self.stats.demotions += 1
+                moves += 1
+
+        # Close the epoch.
+        for segment in self.store.table:
+            self._last_counts[segment.oid] = segment.access_count
+        self.stats.epochs += 1
+        self.stats.decisions.extend(decisions)
+        return decisions

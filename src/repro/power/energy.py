@@ -1,0 +1,65 @@
+"""Energy accounting: component TDPs and integrated energy over sim time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """One component's TDP envelope in watts."""
+
+    name: str
+    tdp_watts: float
+
+    def __post_init__(self) -> None:
+        if self.tdp_watts <= 0:
+            raise ConfigurationError("TDP must be positive")
+
+
+#: The Hyperion DPU bill of materials (paper: "approx. 230 Watts"):
+#: one U280 (225 W max TDP per the datasheet is the card cap; typical
+#: configuration budget ~150 W) + 4 NVMe SSDs + crossover board.
+HYPERION_POWER: Dict[str, ComponentPower] = {
+    "alveo-u280": ComponentPower("alveo-u280", 170.0),
+    "nvme-0": ComponentPower("nvme-0", 12.0),
+    "nvme-1": ComponentPower("nvme-1", 12.0),
+    "nvme-2": ComponentPower("nvme-2", 12.0),
+    "nvme-3": ComponentPower("nvme-3", 12.0),
+    "xover-board+clk": ComponentPower("xover-board+clk", 12.0),
+}
+
+
+def total_tdp(components: Dict[str, ComponentPower]) -> float:
+    return sum(component.tdp_watts for component in components.values())
+
+
+class EnergyMeter:
+    """Integrates power over busy time per component.
+
+    ``charge(name, duration, utilization)`` adds
+    ``tdp * utilization * duration`` joules; experiments charge the meters
+    as their datapaths run.
+    """
+
+    def __init__(self, components: Dict[str, ComponentPower]):
+        self.components = dict(components)
+        self.joules: Dict[str, float] = {name: 0.0 for name in components}
+
+    def charge(self, name: str, duration: float, utilization: float = 1.0) -> None:
+        if name not in self.components:
+            raise ConfigurationError(f"unknown component {name}")
+        if duration < 0 or not 0 <= utilization <= 1:
+            raise ConfigurationError("bad duration/utilization")
+        self.joules[name] += self.components[name].tdp_watts * utilization * duration
+
+    def total_joules(self) -> float:
+        return sum(self.joules.values())
+
+    def energy_per_op(self, operations: int) -> float:
+        if operations <= 0:
+            raise ConfigurationError("need at least one operation")
+        return self.total_joules() / operations

@@ -1,0 +1,30 @@
+"""Physical volume models for the compactness claim (paper §2, Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DeviceVolume:
+    """A device's bounding box in millimetres."""
+
+    name: str
+    dimensions_mm: Tuple[float, float, float]
+
+    @property
+    def liters(self) -> float:
+        w, h, d = self.dimensions_mm
+        return (w * h * d) / 1e6
+
+
+#: The Figure 1 prototype footprint: the paper annotates the assembly as
+#: roughly 20.7 cm x 29.7 cm (an A4 sheet); the height is the dual-slot
+#: U280 card thickness (~40 mm), which dominates the riser stack.
+HYPERION_VOLUME = DeviceVolume("hyperion", (207.0, 40.0, 297.0))
+
+
+def volume_ratio(larger: DeviceVolume, smaller: DeviceVolume) -> float:
+    """How many times bigger ``larger`` is."""
+    return larger.liters / smaller.liters

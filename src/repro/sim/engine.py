@@ -1,0 +1,280 @@
+"""Core event loop, events, and generator-driven processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called;
+    its callbacks run when the simulator reaches the trigger time.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise RuntimeError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on it.
+        """
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback immediately so late
+            # waiters still observe the value.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A generator executing in simulated time.
+
+    The process is itself an event: it triggers with the generator's return
+    value when the generator finishes, or fails with the uncaught exception.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process on the next simulator step.
+        bootstrap = Event(sim)
+        bootstrap._value = None
+        sim._schedule(bootstrap, 0.0)
+        bootstrap._add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        poke = Event(self.sim)
+        poke._value = Interrupt(cause)
+        poke._ok = False
+        self.sim._schedule(poke, 0.0)
+        # Detach from whatever we were waiting on; the stale event's
+        # callback becomes a no-op because _waiting_on no longer matches.
+        poke._add_callback(self._resume_interrupt)
+
+    def _resume_interrupt(self, poke: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._step(poke)
+
+    def _resume(self, event: Event) -> None:
+        # Ignore wakeups after the process finished, or from events we
+        # stopped waiting on (interrupts).
+        if self.triggered:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self._ok = True
+            self.sim._schedule(self, 0.0)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self._value = exc
+            self._ok = False
+            self.sim._schedule(self, 0.0)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+
+class _MultiEvent(Event):
+    """Base for AnyOf/AllOf composition events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event._add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_MultiEvent):
+    """Triggers when the first of its child events triggers."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            # Collect events that have been *processed* by the event loop
+            # (Timeouts are "triggered" from creation, so `triggered` would
+            # wrongly include pending ones).
+            self.succeed(
+                {e: e._value for e in self.events if e.processed and e._ok}
+            )
+        else:
+            self.fail(event._value)
+
+
+class AllOf(_MultiEvent):
+    """Triggers when all child events have triggered."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed({e: e._value for e in self.events})
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._eid = 0
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (self.now + delay, self._eid, event))
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event in the heap."""
+        when, __, event = heapq.heappop(self._heap)
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time passes ``until``."""
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_process(self, generator: Generator) -> Any:
+        """Convenience: run a generator to completion and return its value."""
+        process = self.process(generator)
+        self.run()
+        if not process.triggered:
+            raise RuntimeError("process did not finish (deadlock?)")
+        if not process._ok:
+            raise process._value
+        return process._value

@@ -1,0 +1,199 @@
+"""A Corfu-style shared log over network-attached flash (paper §2.4, [20]).
+
+Three roles, all CPU-free on the DPU side:
+
+* **Sequencer** — hands out monotonically increasing log positions (a pure
+  network service; its counter is soft state reconstructible from the log);
+* **Log units** — write-once position-addressed flash storage; an attempt
+  to overwrite a filled position is rejected, which is what makes the log's
+  ordering authoritative;
+* **Client** — reserves a position, then chain-writes the entry to every
+  replica; reads hit the head replica and fail over on fault injection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.hw.nvme.commands import NvmeCommand, NvmeOpcode
+from repro.hw.nvme.controller import NvmeController
+from repro.sim import Simulator
+from repro.transport.rpc import RpcClient, RpcError, RpcServer
+
+
+class CorfuSequencer:
+    """Issues log positions; one RPC per append."""
+
+    def __init__(self, server: RpcServer):
+        self._next_position = 0
+        server.register("corfu.next", self._next)
+        server.register("corfu.tail", self._tail)
+
+    def _next(self, count: int = 1) -> int:
+        position = self._next_position
+        self._next_position += count
+        return position
+
+    def _tail(self) -> int:
+        return self._next_position
+
+
+class CorfuLogUnit:
+    """Write-once storage for log entries, backed by NVMe flash.
+
+    With ``use_zone_append=True`` the unit's namespace must be a
+    :class:`~repro.hw.nvme.zns.ZonedNamespace` and every entry lands via
+    ZONE_APPEND — the device picks the LBA, which is the natural fit the
+    paper's "KV-SSD, Corfu-SSD" + ZNS combination points at.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: RpcServer,
+        controller: NvmeController,
+        namespace_id: int = 1,
+        blocks_per_entry: int = 1,
+        use_zone_append: bool = False,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.namespace_id = namespace_id
+        self.blocks_per_entry = blocks_per_entry
+        self.use_zone_append = use_zone_append
+        self.qp = controller.create_queue_pair()
+        controller.start()
+        self._written: Dict[int, int] = {}  # position -> lba
+        self._next_lba = 0
+        self._active_zone = 0
+        self.failed = False
+        server.register("corfu.write", self._write)
+        server.register("corfu.read", self._read)
+        server.register("corfu.filled", self._filled)
+
+    def fail(self) -> None:
+        """Fault injection: the unit stops serving."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise ProtocolError("log unit failed")
+
+    def _write(self, position: int, data: bytes):
+        self._check_alive()
+        if position in self._written:
+            raise ProtocolError(f"position {position} already written")
+        if self.use_zone_append:
+            # Device-chosen placement: append into the active zone; when it
+            # fills, roll forward to the next zone (the log-structured way).
+            namespace = self.controller.namespaces[self.namespace_id]
+            zone_count = len(namespace.zones)
+            lba = None
+            while self._active_zone < zone_count:
+                zone_start = namespace.zones[self._active_zone].start_lba
+                completion = yield self.qp.submit(
+                    NvmeCommand(
+                        NvmeOpcode.ZONE_APPEND,
+                        namespace_id=self.namespace_id,
+                        lba=zone_start,
+                        data=bytes(data),
+                    )
+                )
+                if completion.ok:
+                    lba = completion.result_lba
+                    break
+                self._active_zone += 1  # zone full: move on
+            if lba is None:
+                raise ProtocolError("zone append failed: namespace full")
+        else:
+            lba = self._next_lba
+            self._next_lba += self.blocks_per_entry
+            completion = yield self.qp.submit(
+                NvmeCommand(
+                    NvmeOpcode.WRITE,
+                    namespace_id=self.namespace_id,
+                    lba=lba,
+                    data=bytes(data),
+                )
+            )
+            if not completion.ok:
+                raise ProtocolError("flash write failed")
+        self._written[position] = lba
+        return True
+
+    def _read(self, position: int):
+        self._check_alive()
+        lba = self._written.get(position)
+        if lba is None:
+            raise ProtocolError(f"position {position} not written")
+        completion = yield self.qp.submit(
+            NvmeCommand(
+                NvmeOpcode.READ,
+                namespace_id=self.namespace_id,
+                lba=lba,
+                block_count=self.blocks_per_entry,
+            )
+        )
+        if not completion.ok:
+            raise ProtocolError("flash read failed")
+        return completion.data
+
+    def _filled(self, position: int) -> bool:
+        self._check_alive()
+        return position in self._written
+
+
+class CorfuClient:
+    """Appends and reads against a sequencer and a replica chain."""
+
+    def __init__(
+        self,
+        client: RpcClient,
+        sequencer_address: str,
+        log_unit_addresses: List[str],
+    ):
+        if not log_unit_addresses:
+            raise ProtocolError("need at least one log unit")
+        self.client = client
+        self.sequencer = sequencer_address
+        self.log_units = list(log_unit_addresses)
+        self.appends = 0
+
+    def append(self, data: bytes):
+        """Process: reserve a position, chain-write all replicas; returns
+        the assigned position."""
+        position = yield from self.client.call(
+            self.sequencer, "corfu.next", request_size=16, response_size=16
+        )
+        for unit in self.log_units:
+            yield from self.client.call(
+                unit, "corfu.write", position, bytes(data),
+                request_size=32 + len(data), response_size=16,
+            )
+        self.appends += 1
+        return position
+
+    def read(self, position: int, entry_size: int = 4096):
+        """Process: read from the first live replica."""
+        last_error: Optional[Exception] = None
+        for unit in self.log_units:
+            try:
+                data = yield from self.client.call(
+                    unit, "corfu.read", position,
+                    request_size=24, response_size=entry_size,
+                )
+                return data
+            except RpcError as exc:
+                last_error = exc
+        raise ProtocolError(f"no replica served position {position}: {last_error}")
+
+    def tail(self):
+        """Process: current log tail from the sequencer."""
+        position = yield from self.client.call(
+            self.sequencer, "corfu.tail", request_size=16, response_size=16
+        )
+        return position

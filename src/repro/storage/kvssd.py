@@ -1,0 +1,233 @@
+"""KV-SSD: the device speaks get/put, not blocks (paper §2, §2.4, [28]).
+
+The device runs an LSM tree beside the flash: puts land in an in-device
+memtable with a write-ahead log append; gets consult the memtable and then
+SSTable runs, each run costing a flash read. Flushed SSTables serialize to
+actual namespace blocks, so the on-flash state is real bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import CapacityError
+from repro.datastruct.lsm import LsmTree, SsTable
+from repro.hw.nvme.commands import NvmeCommand, NvmeOpcode
+from repro.hw.nvme.controller import NvmeController
+from repro.hw.nvme.namespace import LBA_SIZE
+from repro.sim import Simulator
+from repro.transport.rpc import RpcClient, RpcServer
+
+#: In-device KV engine time per command (index walk, request parsing) —
+#: the processing a one-sided RDMA read of a cached value bypasses.
+KV_REQUEST_PROCESSING = 2e-6
+
+
+class KvSsd:
+    """The device-level KV engine bound to one NVMe controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: NvmeController,
+        namespace_id: int = 1,
+        wal_start_lba: int = 0,
+        sstable_start_lba: int = 1024,
+        memtable_limit: int = 256,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.namespace_id = namespace_id
+        self.qp = controller.create_queue_pair()
+        controller.start()
+        self.lsm = LsmTree(memtable_limit=memtable_limit)
+        self._wal_lba = wal_start_lba
+        self._sstable_lba = sstable_start_lba
+        self._sstable_extents: List[Tuple[int, int]] = []  # (lba, blocks)
+        self.gets = 0
+        self.puts = 0
+
+    # -- device commands (timed processes) ------------------------------------
+    def _wal_append(self, key: bytes, value: bytes, tombstone: bool):
+        """Process: one durable write-ahead record."""
+        record = (
+            len(key).to_bytes(4, "little")
+            + len(value).to_bytes(4, "little")
+            + (b"\x01" if tombstone else b"\x00")
+            + key
+            + value
+        )
+        completion = yield self.qp.submit(
+            NvmeCommand(
+                NvmeOpcode.WRITE,
+                namespace_id=self.namespace_id,
+                lba=self._wal_lba,
+                data=record,
+            )
+        )
+        if not completion.ok:
+            raise CapacityError("WAL append failed")
+        self._wal_lba += max(1, (len(record) + LBA_SIZE - 1) // LBA_SIZE)
+
+    def put(self, key: bytes, value: bytes):
+        """Process: WAL append + memtable insert; flush spills to flash."""
+        yield self.sim.timeout(KV_REQUEST_PROCESSING)
+        yield from self._wal_append(key, value, tombstone=False)
+        flushes_before = self.lsm.stats.flushes
+        self.lsm.put(key, value)
+        if self.lsm.stats.flushes > flushes_before:
+            yield from self._persist_newest_sstable()
+        self.puts += 1
+
+    def get(self, key: bytes):
+        """Process: memtable first, then one flash read per run consulted."""
+        yield self.sim.timeout(KV_REQUEST_PROCESSING)
+        runs_consulted = self.lsm.search_cost(key) - 1  # memtable is free
+        for _ in range(max(0, runs_consulted)):
+            yield self.qp.submit(
+                NvmeCommand(
+                    NvmeOpcode.READ, namespace_id=self.namespace_id, lba=0
+                )
+            )
+        self.gets += 1
+        return self.lsm.get(key)
+
+    def delete(self, key: bytes):
+        yield self.sim.timeout(KV_REQUEST_PROCESSING)
+        yield from self._wal_append(key, b"", tombstone=True)
+        self.lsm.delete(key)
+        return True
+
+    def scan(self, start: bytes, end: bytes, limit: int = 100):
+        """Process: ordered range scan."""
+        results = []
+        for key, value in self.lsm.items():
+            if start <= key < end:
+                results.append((key, value))
+                if len(results) >= limit:
+                    break
+        # One flash read per SSTable run touched by the scan.
+        for _ in range(len(self.lsm.l0) + (1 if self.lsm.l1 else 0)):
+            yield self.qp.submit(
+                NvmeCommand(
+                    NvmeOpcode.READ, namespace_id=self.namespace_id, lba=0
+                )
+            )
+        return results
+
+    def _persist_newest_sstable(self):
+        image = self.lsm.l0[0].serialize()
+        completion = yield self.qp.submit(
+            NvmeCommand(
+                NvmeOpcode.WRITE,
+                namespace_id=self.namespace_id,
+                lba=self._sstable_lba,
+                data=image,
+            )
+        )
+        if not completion.ok:
+            raise CapacityError("SSTable persist failed")
+        blocks = max(1, (len(image) + LBA_SIZE - 1) // LBA_SIZE)
+        self._sstable_extents.append((self._sstable_lba, blocks))
+        self._sstable_lba += blocks
+
+    def recover_from_wal(self, wal_start_lba: int = 0):
+        """Process: replay the write-ahead log after a power cut.
+
+        Rebuilds the in-device LSM state from the durable WAL alone
+        (records are idempotent, so replaying over flushed SSTables is
+        safe). Returns the number of records applied.
+        """
+        namespace = self.controller.namespaces[self.namespace_id]
+        lba = wal_start_lba
+        applied = 0
+        fresh = LsmTree(memtable_limit=self.lsm.memtable_limit)
+        wal_limit = min(namespace.capacity_blocks, self._sstable_lba)
+        while lba < wal_limit:
+            completion = yield self.qp.submit(
+                NvmeCommand(
+                    NvmeOpcode.READ, namespace_id=self.namespace_id, lba=lba
+                )
+            )
+            if not completion.ok:
+                break
+            head = completion.data
+            key_len = int.from_bytes(head[0:4], "little")
+            value_len = int.from_bytes(head[4:8], "little")
+            if key_len == 0:
+                break  # zeroed block: end of the log
+            total = 9 + key_len + value_len
+            blocks = max(1, (total + LBA_SIZE - 1) // LBA_SIZE)
+            raw = namespace.read_blocks(lba, blocks)
+            tombstone = raw[8] == 1
+            key = raw[9 : 9 + key_len]
+            value = raw[9 + key_len : 9 + key_len + value_len]
+            if tombstone:
+                fresh.delete(key)
+            else:
+                fresh.put(key, value)
+            applied += 1
+            lba += blocks
+        self.lsm = fresh
+        self._wal_lba = lba  # new appends continue past the replayed log
+        return applied
+
+    def recover_sstables(self):
+        """Process: reload persisted SSTables after a restart."""
+        restored: List[SsTable] = []
+        for lba, blocks in self._sstable_extents:
+            completion = yield self.qp.submit(
+                NvmeCommand(
+                    NvmeOpcode.READ,
+                    namespace_id=self.namespace_id,
+                    lba=lba,
+                    block_count=blocks,
+                )
+            )
+            restored.append(SsTable.deserialize(completion.data))
+        return restored
+
+
+class KvSsdService:
+    """Exports a KvSsd over the Willow-style RPC interface."""
+
+    def __init__(self, server: RpcServer, device: KvSsd):
+        self.device = device
+        server.register("kv.get", device.get)
+        server.register("kv.put", device.put)
+        server.register("kv.delete", device.delete)
+        server.register("kv.scan", device.scan)
+
+
+class KvSsdClient:
+    """Client stub for a remote KV-SSD."""
+
+    def __init__(self, client: RpcClient, target_address: str):
+        self.client = client
+        self.target = target_address
+
+    def get(self, key: bytes, expected_value_size: int = 128):
+        value = yield from self.client.call(
+            self.target, "kv.get", bytes(key),
+            request_size=32 + len(key), response_size=expected_value_size,
+        )
+        return value
+
+    def put(self, key: bytes, value: bytes):
+        yield from self.client.call(
+            self.target, "kv.put", bytes(key), bytes(value),
+            request_size=32 + len(key) + len(value), response_size=16,
+        )
+
+    def delete(self, key: bytes):
+        yield from self.client.call(
+            self.target, "kv.delete", bytes(key),
+            request_size=32 + len(key), response_size=16,
+        )
+
+    def scan(self, start: bytes, end: bytes, limit: int = 100):
+        results = yield from self.client.call(
+            self.target, "kv.scan", bytes(start), bytes(end), limit,
+            request_size=64, response_size=limit * 64,
+        )
+        return results

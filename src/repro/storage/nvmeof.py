@@ -1,0 +1,101 @@
+"""NVMe over Fabrics: block commands shipped across the network.
+
+The target side runs on the DPU: incoming capsules go straight from the
+NIC to the NVMe queues with no host software. The initiator is whatever
+client machine wants remote blocks.
+"""
+
+from __future__ import annotations
+
+
+from repro.common.errors import ProtocolError
+from repro.hw.nvme.commands import NvmeCommand, NvmeOpcode
+from repro.hw.nvme.controller import NvmeController, NvmeQueuePair
+from repro.hw.nvme.namespace import LBA_SIZE
+from repro.sim import Simulator
+from repro.transport.rpc import RpcClient, RpcServer
+
+
+class NvmeOfTarget:
+    """Exports one NVMe controller's namespaces over an RPC server."""
+
+    def __init__(self, sim: Simulator, server: RpcServer, controller: NvmeController):
+        self.sim = sim
+        self.controller = controller
+        self.qp: NvmeQueuePair = controller.create_queue_pair()
+        controller.start()
+        server.register("nvmeof.read", self._read)
+        server.register("nvmeof.write", self._write)
+        server.register("nvmeof.flush", self._flush)
+        self.commands_served = 0
+
+    def _submit(self, command: NvmeCommand):
+        completion = yield self.qp.submit(command)
+        self.commands_served += 1
+        if not completion.ok:
+            raise ProtocolError(f"NVMe error: {completion.status.name}")
+        return completion
+
+    def _read(self, namespace_id: int, lba: int, block_count: int):
+        completion = yield from self._submit(
+            NvmeCommand(
+                NvmeOpcode.READ,
+                namespace_id=namespace_id,
+                lba=lba,
+                block_count=block_count,
+            )
+        )
+        return completion.data
+
+    def _write(self, namespace_id: int, lba: int, data: bytes):
+        yield from self._submit(
+            NvmeCommand(
+                NvmeOpcode.WRITE, namespace_id=namespace_id, lba=lba, data=data
+            )
+        )
+        return True
+
+    def _flush(self, namespace_id: int):
+        yield from self._submit(
+            NvmeCommand(NvmeOpcode.FLUSH, namespace_id=namespace_id)
+        )
+        return True
+
+
+class NvmeOfInitiator:
+    """Client-side block access to a remote target."""
+
+    def __init__(self, client: RpcClient, target_address: str):
+        self.client = client
+        self.target = target_address
+
+    def read(self, lba: int, block_count: int = 1, namespace_id: int = 1):
+        """Process: returns the block bytes."""
+        data = yield from self.client.call(
+            self.target,
+            "nvmeof.read",
+            namespace_id,
+            lba,
+            block_count,
+            request_size=64,
+            response_size=block_count * LBA_SIZE,
+        )
+        return data
+
+    def write(self, lba: int, data: bytes, namespace_id: int = 1):
+        """Process: write bytes at an LBA."""
+        yield from self.client.call(
+            self.target,
+            "nvmeof.write",
+            namespace_id,
+            lba,
+            bytes(data),
+            request_size=64 + len(data),
+            response_size=16,
+        )
+
+    def flush(self, namespace_id: int = 1):
+        yield from self.client.call(
+            self.target, "nvmeof.flush", namespace_id,
+            request_size=64, response_size=16,
+        )

@@ -1,0 +1,187 @@
+"""Atomic multi-segment transactions over the single-level store.
+
+Paper §2.4: network-attached SSDs should export "atomic writes [128] with
+transactional interfaces" and Boxwood-style abstractions. This is a
+redo-log implementation: a transaction's writes stage in DRAM, commit
+appends a self-describing record to a durable log segment (commit marker
+last), and only then do the writes apply in place. Recovery replays
+committed records and ignores torn tails, so a power cut anywhere leaves
+every transaction all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import ObjectId
+from repro.memory.store import SingleLevelStore
+
+_RECORD_HEAD = struct.Struct("<QII")  # txn id, write count, body length
+_WRITE_HEAD = struct.Struct("<16sQI")  # oid, offset, length
+_COMMIT = struct.Struct("<QI")  # txn id, crc32 of body
+
+#: Byte budget of the redo log segment.
+DEFAULT_LOG_BYTES = 1 << 20
+
+
+@dataclass
+class _StagedWrite:
+    oid: ObjectId
+    offset: int
+    data: bytes
+
+
+class Transaction:
+    """A handle for staging writes; obtained from ``TransactionLog.begin``."""
+
+    def __init__(self, txn_id: int, log: "TransactionLog"):
+        self.txn_id = txn_id
+        self._log = log
+        self._writes: List[_StagedWrite] = []
+        self.state = "open"
+
+    def write(self, oid: ObjectId, data: bytes, offset: int = 0) -> None:
+        if self.state != "open":
+            raise ProtocolError(f"transaction {self.txn_id} is {self.state}")
+        # Validate the target eagerly so commit cannot half-fail.
+        segment = self._log.store.table.lookup(oid)
+        if offset < 0 or offset + len(data) > segment.size:
+            raise ProtocolError("staged write outside segment bounds")
+        if not segment.durable:
+            raise ProtocolError("transactions may only touch durable segments")
+        self._writes.append(_StagedWrite(oid, offset, bytes(data)))
+
+    def commit(self):
+        """Process: make all staged writes durable atomically."""
+        if self.state != "open":
+            raise ProtocolError(f"transaction {self.txn_id} is {self.state}")
+        yield from self._log._commit(self)
+        self.state = "committed"
+
+    def abort(self) -> None:
+        if self.state != "open":
+            raise ProtocolError(f"transaction {self.txn_id} is {self.state}")
+        self._writes.clear()
+        self.state = "aborted"
+
+
+class TransactionLog:
+    """The redo log plus commit/recovery protocol over a store."""
+
+    def __init__(
+        self,
+        store: SingleLevelStore,
+        log_oid: Optional[ObjectId] = None,
+        log_bytes: int = DEFAULT_LOG_BYTES,
+    ):
+        self.store = store
+        if log_oid is not None and log_oid in store.table:
+            self.log_segment = store.table.lookup(log_oid)
+        else:
+            self.log_segment = store.allocate(
+                log_bytes, durable=True, oid=log_oid
+            )
+        self._cursor = self._scan_end()
+        self._next_txn = self._highest_txn() + 1
+        self.commits = 0
+
+    # -- public API --------------------------------------------------------
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_txn, self)
+        self._next_txn += 1
+        return txn
+
+    def _commit(self, txn: Transaction):
+        body_parts = []
+        for staged in txn._writes:
+            body_parts.append(
+                _WRITE_HEAD.pack(
+                    staged.oid.to_bytes(), staged.offset, len(staged.data)
+                )
+            )
+            body_parts.append(staged.data)
+        body = b"".join(body_parts)
+        head = _RECORD_HEAD.pack(txn.txn_id, len(txn._writes), len(body))
+        commit_marker = _COMMIT.pack(txn.txn_id, zlib.crc32(body))
+        record = head + body + commit_marker
+        if self._cursor + len(record) > self.log_segment.size:
+            raise ProtocolError("transaction log full (checkpoint needed)")
+        # 1. Durable redo record — the commit marker is written with it;
+        #    a torn write is detected by the CRC at recovery.
+        yield from self.store.timed_write(
+            self.log_segment.oid, record, offset=self._cursor
+        )
+        self._cursor += len(record)
+        # 2. Apply in place.
+        for staged in txn._writes:
+            yield from self.store.timed_write(
+                staged.oid, staged.data, offset=staged.offset
+            )
+        self.commits += 1
+
+    # -- recovery ------------------------------------------------------------
+    def recover(self) -> int:
+        """Replay committed records in order; returns how many applied."""
+        applied = 0
+        for txn_id, writes in self._committed_records():
+            for oid, offset, data in writes:
+                if oid in self.store.table:
+                    self.store.write(oid, data, offset=offset)
+            applied += 1
+        return applied
+
+    # -- log scanning ----------------------------------------------------------
+    def _records(self):
+        """Yield (txn_id, end_offset, writes, crc_ok) for each whole record."""
+        cursor = 0
+        raw = self.store.read(self.log_segment.oid)
+        while cursor + _RECORD_HEAD.size <= len(raw):
+            txn_id, count, body_len = _RECORD_HEAD.unpack_from(raw, cursor)
+            if txn_id == 0 and count == 0 and body_len == 0:
+                return  # zeroed tail: end of log
+            record_end = cursor + _RECORD_HEAD.size + body_len + _COMMIT.size
+            if record_end > len(raw):
+                return  # torn tail
+            body = raw[cursor + _RECORD_HEAD.size:
+                       cursor + _RECORD_HEAD.size + body_len]
+            marker_txn, crc = _COMMIT.unpack_from(
+                raw, cursor + _RECORD_HEAD.size + body_len
+            )
+            crc_ok = marker_txn == txn_id and crc == zlib.crc32(body)
+            writes = []
+            if crc_ok:
+                at = 0
+                for _ in range(count):
+                    oid_raw, offset, length = _WRITE_HEAD.unpack_from(body, at)
+                    at += _WRITE_HEAD.size
+                    writes.append(
+                        (ObjectId.from_bytes(oid_raw), offset,
+                         body[at : at + length])
+                    )
+                    at += length
+            yield txn_id, record_end, writes, crc_ok
+            if not crc_ok:
+                return  # stop at the first corrupt record
+            cursor = record_end
+
+    def _committed_records(self):
+        for txn_id, __, writes, crc_ok in self._records():
+            if crc_ok:
+                yield txn_id, writes
+
+    def _scan_end(self) -> int:
+        end = 0
+        for __, record_end, ___, crc_ok in self._records():
+            if crc_ok:
+                end = record_end
+        return end
+
+    def _highest_txn(self) -> int:
+        highest = 0
+        for txn_id, __ in self._committed_records():
+            highest = max(highest, txn_id)
+        return highest

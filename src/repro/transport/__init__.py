@@ -1,0 +1,26 @@
+"""Network transports: UDP, TCP, RDMA, HOMA, and a Willow-style RPC layer.
+
+Paper §2: "The end-to-end hardware path can be specialized with ...
+an application-defined network transport (TCP, UDP, RDMA, HOMA)". Each
+transport charges its own realistic costs — handshakes, segmentation, ACKs,
+grants, one-sided completions — so the KV-SSD experiment (E12) can sweep
+them and show where each wins.
+"""
+
+from repro.transport.udp import UdpSocket
+from repro.transport.tcp import TcpStack, TcpConnection
+from repro.transport.rdma import RdmaNic, MemoryRegion
+from repro.transport.homa import HomaSocket
+from repro.transport.rpc import RpcClient, RpcServer, RpcError
+
+__all__ = [
+    "UdpSocket",
+    "TcpStack",
+    "TcpConnection",
+    "RdmaNic",
+    "MemoryRegion",
+    "HomaSocket",
+    "RpcClient",
+    "RpcServer",
+    "RpcError",
+]

@@ -1,0 +1,179 @@
+"""A Willow-style flexible RPC layer over any datagram-like transport.
+
+Paper §2.4: "we take inspiration from the flexible RPC interface pioneered
+by Willow. The RPC interface can be specialized end-to-end with network,
+storage, and application-level protocols." Servers register named handlers
+(which may be simulation processes touching flash, segments, or pipelines);
+clients call them over UDP, HOMA, or a TCP adapter — the E12 sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.errors import ProtocolError
+from repro.sim import Event, Simulator
+
+_rpc_ids = itertools.count()
+
+RPC_HEADER = 16
+
+
+class RpcError(ProtocolError):
+    """A remote handler raised, or the method does not exist."""
+
+
+@dataclass
+class RpcRequest:
+    """The wire request: id, method name, arguments, expected reply size."""
+
+    rpc_id: int
+    method: str
+    args: tuple
+    response_size: int
+
+
+@dataclass
+class RpcResponse:
+    """The wire response: matching id, result or marshalled error."""
+
+    rpc_id: int
+    ok: bool
+    result: Any = None
+    error: str = ""
+
+
+class _DatagramAdapter:
+    """Uniform sendto/recv interface over UDP and HOMA sockets."""
+
+    def __init__(self, socket: Any):
+        self.socket = socket
+
+    @property
+    def address(self) -> str:
+        return self.socket.address
+
+    def sendto(self, dst: str, payload: Any, size: int):
+        if hasattr(self.socket, "sendto"):
+            yield from self.socket.sendto(dst, payload, size)
+        else:
+            yield from self.socket.send(dst, payload, size)
+
+    def recv(self):
+        if hasattr(self.socket, "recvfrom"):
+            return self.socket.recvfrom()
+        return self.socket.recv()
+
+
+class RpcServer:
+    """Dispatches incoming requests to registered handler processes.
+
+    A handler is ``fn(*args)`` returning either a plain value or a generator
+    (a simulation process, e.g. one that performs NVMe commands); generator
+    handlers are driven to completion before the response is sent — the
+    "run-to-completion data path" of §2.4.
+    """
+
+    def __init__(self, sim: Simulator, socket: Any):
+        self.sim = sim
+        self.transport = _DatagramAdapter(socket)
+        self._handlers: Dict[str, Callable] = {}
+        self.requests_served = 0
+        sim.process(self._serve_loop())
+
+    @property
+    def address(self) -> str:
+        return self.transport.address
+
+    def register(self, method: str, handler: Callable) -> None:
+        if method in self._handlers:
+            raise ProtocolError(f"handler for {method!r} already registered")
+        self._handlers[method] = handler
+
+    def _serve_loop(self):
+        while True:
+            src, request, __ = yield self.transport.recv()
+            if isinstance(request, RpcRequest):
+                self.sim.process(self._handle(src, request))
+
+    def _handle(self, src: str, request: RpcRequest):
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            response = RpcResponse(
+                request.rpc_id, ok=False, error=f"no method {request.method!r}"
+            )
+            yield from self.transport.sendto(src, response, RPC_HEADER)
+            return
+        try:
+            outcome = handler(*request.args)
+            if hasattr(outcome, "send"):  # a generator: run it in sim time
+                outcome = yield self.sim.process(outcome)
+            response = RpcResponse(request.rpc_id, ok=True, result=outcome)
+        except Exception as exc:  # noqa: BLE001 - marshalled to the client
+            response = RpcResponse(request.rpc_id, ok=False, error=str(exc))
+        self.requests_served += 1
+        yield from self.transport.sendto(
+            src, response, RPC_HEADER + request.response_size
+        )
+
+
+class RpcClient:
+    """Issues calls and matches responses by rpc id."""
+
+    def __init__(self, sim: Simulator, socket: Any):
+        self.sim = sim
+        self.transport = _DatagramAdapter(socket)
+        self._pending: Dict[int, Event] = {}
+        sim.process(self._rx_loop())
+
+    def _rx_loop(self):
+        while True:
+            __, response, __ = yield self.transport.recv()
+            if isinstance(response, RpcResponse):
+                waiter = self._pending.pop(response.rpc_id, None)
+                if waiter is not None:
+                    waiter.succeed(response)
+
+    def call(
+        self,
+        server: str,
+        method: str,
+        *args: Any,
+        request_size: int = 64,
+        response_size: int = 64,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ):
+        """Process: one RPC; returns the handler's result or raises RpcError.
+
+        With ``timeout`` set, an unanswered request is retransmitted up to
+        ``retries`` times (needed over lossy datagram transports; handlers
+        must be idempotent, as with any at-least-once RPC).
+        """
+        request = RpcRequest(next(_rpc_ids), method, args, response_size)
+        done = Event(self.sim)
+        self._pending[request.rpc_id] = done
+        attempts = 0
+        while True:
+            yield from self.transport.sendto(
+                server, request, RPC_HEADER + request_size
+            )
+            if timeout is None:
+                response = yield done
+                break
+            outcome = yield self.sim.any_of([done, self.sim.timeout(timeout)])
+            if done in outcome:
+                response = done.value
+                break
+            attempts += 1
+            if attempts > retries:
+                self._pending.pop(request.rpc_id, None)
+                raise RpcError(
+                    f"{method} to {server} timed out after "
+                    f"{attempts} attempt(s)"
+                )
+        if not response.ok:
+            raise RpcError(response.error)
+        return response.result

@@ -1,0 +1,90 @@
+"""UDP: unreliable datagrams with MTU fragmentation and reassembly."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.hw.net.frames import Frame, MAX_FRAME_PAYLOAD
+from repro.hw.net.port import NetworkPort
+from repro.sim import Simulator, Store
+
+#: IP + UDP headers.
+UDP_HEADER = 28
+
+_datagram_ids = itertools.count()
+
+
+@dataclass
+class _Fragment:
+    datagram_id: int
+    index: int
+    total: int
+    payload: Any  # carried only on fragment 0
+    payload_size: int
+
+
+class UdpSocket:
+    """A datagram endpoint bound to one network port.
+
+    Datagrams larger than the MTU fragment across frames; the receiver
+    reassembles by datagram id. There is no reliability: a dropped fragment
+    silently kills the datagram (as with real UDP/IP fragmentation).
+    """
+
+    def __init__(self, sim: Simulator, port: NetworkPort):
+        self.sim = sim
+        self.port = port
+        self.rx: Store = Store(sim)
+        self._partial: Dict[Tuple[str, int], Dict[int, _Fragment]] = {}
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        sim.process(self._rx_loop())
+
+    @property
+    def address(self) -> str:
+        return self.port.address
+
+    def sendto(self, dst: str, payload: Any, size: int):
+        """Process: transmit one datagram of modeled ``size`` bytes."""
+        datagram_id = next(_datagram_ids)
+        mtu_payload = MAX_FRAME_PAYLOAD - UDP_HEADER
+        total = max(1, -(-size // mtu_payload))
+        remaining = size
+        for index in range(total):
+            chunk = min(mtu_payload, remaining)
+            remaining -= chunk
+            fragment = _Fragment(
+                datagram_id=datagram_id,
+                index=index,
+                total=total,
+                payload=payload if index == 0 else None,
+                payload_size=size,
+            )
+            frame = Frame(self.port.address, dst, fragment, chunk + UDP_HEADER)
+            yield from self.port.send(frame)
+        self.datagrams_sent += 1
+
+    def _rx_loop(self):
+        while True:
+            frame = yield self.port.receive()
+            fragment = frame.payload
+            if not isinstance(fragment, _Fragment):
+                continue  # not UDP traffic
+            if fragment.total == 1:
+                self.datagrams_received += 1
+                yield self.rx.put((frame.src, fragment.payload, fragment.payload_size))
+                continue
+            key = (frame.src, fragment.datagram_id)
+            parts = self._partial.setdefault(key, {})
+            parts[fragment.index] = fragment
+            if len(parts) == fragment.total:
+                del self._partial[key]
+                head = parts[0]
+                self.datagrams_received += 1
+                yield self.rx.put((frame.src, head.payload, head.payload_size))
+
+    def recvfrom(self):
+        """Event: next ``(src, payload, size)`` datagram."""
+        return self.rx.get()

@@ -1,0 +1,94 @@
+"""Architectural discipline checks.
+
+The README promises: "the DPU datapaths are composed only of hardware
+components ... and they never call into ``repro.baseline`` — the only place
+where syscalls, interrupts, copies, and CPU jitter exist." These tests
+enforce that statically, so a refactor cannot quietly put a CPU back into
+the CPU-free paths.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Packages that model the CPU-free side and must never touch the baseline.
+CPU_FREE_PACKAGES = [
+    "hw", "memory", "ebpf", "hdl", "transport", "storage",
+    "datastruct", "fs", "formats", "dpu", "sim", "common",
+]
+
+
+def _imports_of(path: pathlib.Path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module
+
+
+def _package_files(package: str):
+    return sorted((SRC / package).rglob("*.py"))
+
+
+class TestCpuFreeDiscipline:
+    @pytest.mark.parametrize("package", CPU_FREE_PACKAGES)
+    def test_no_baseline_imports(self, package):
+        for path in _package_files(package):
+            for module in _imports_of(path):
+                assert not module.startswith("repro.baseline"), (
+                    f"{path.relative_to(SRC)} imports {module}: the CPU "
+                    f"crept back into a CPU-free package"
+                )
+
+    def test_baseline_exists_and_is_isolated(self):
+        assert _package_files("baseline"), "baseline package missing"
+
+    def test_hw_never_imports_upward(self):
+        """Hardware models must not depend on apps/eval layers."""
+        for path in _package_files("hw"):
+            for module in _imports_of(path):
+                for forbidden in ("repro.apps", "repro.eval", "repro.dpu"):
+                    assert not module.startswith(forbidden), (
+                        f"{path.relative_to(SRC)} imports {module}"
+                    )
+
+    def test_sim_kernel_is_leaf(self):
+        """The DES kernel depends on nothing else in repro."""
+        for path in _package_files("sim"):
+            for module in _imports_of(path):
+                if module.startswith("repro."):
+                    assert module.startswith("repro.sim"), (
+                        f"sim kernel imports {module}"
+                    )
+
+
+class TestDocstringsEverywhere:
+    def test_every_module_has_a_docstring(self):
+        missing = []
+        for path in sorted(SRC.rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            if not (
+                tree.body
+                and isinstance(tree.body[0], ast.Expr)
+                and isinstance(tree.body[0].value, ast.Constant)
+                and isinstance(tree.body[0].value.value, str)
+            ):
+                missing.append(str(path.relative_to(SRC)))
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_public_class_documented(self):
+        undocumented = []
+        for path in sorted(SRC.rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                    if ast.get_docstring(node) is None:
+                        undocumented.append(
+                            f"{path.relative_to(SRC)}::{node.name}"
+                        )
+        assert not undocumented, f"classes without docstrings: {undocumented}"

@@ -1,0 +1,57 @@
+"""Unit and property tests for 128-bit ObjectIds."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.ids import BOOT_AREA_ID, ObjectId
+
+
+class TestObjectId:
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            ObjectId(-1)
+        with pytest.raises(ValueError):
+            ObjectId(1 << 128)
+
+    def test_boundaries_accepted(self):
+        assert ObjectId(0).value == 0
+        assert ObjectId((1 << 128) - 1).value == (1 << 128) - 1
+
+    def test_equality_and_hash(self):
+        a, b = ObjectId(42), ObjectId(42)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_ordering(self):
+        assert ObjectId(1) < ObjectId(2) < ObjectId(3)
+
+    def test_random_uses_rng(self):
+        rng1 = random.Random(7)
+        rng2 = random.Random(7)
+        assert ObjectId.random(rng1) == ObjectId.random(rng2)
+
+    def test_str_is_32_hex_chars(self):
+        assert str(ObjectId(0xDEADBEEF)) == f"{0xDEADBEEF:032x}"
+
+    def test_boot_area_is_one(self):
+        assert BOOT_AREA_ID.value == 1
+
+    def test_from_bytes_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ObjectId.from_bytes(b"\x00" * 15)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+def test_bytes_roundtrip(value):
+    oid = ObjectId(value)
+    assert ObjectId.from_bytes(oid.to_bytes()) == oid
+
+
+@given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+def test_str_roundtrip(value):
+    oid = ObjectId(value)
+    assert ObjectId(int(str(oid), 16)) == oid

@@ -1,0 +1,128 @@
+"""Tests for the hash table and extent tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CapacityError, ConfigurationError
+from repro.datastruct import BucketHashTable, Extent, ExtentTree
+
+
+class TestHashTable:
+    def test_put_get(self):
+        table = BucketHashTable()
+        table.put(b"key", b"value")
+        assert table.get(b"key") == b"value"
+
+    def test_missing(self):
+        assert BucketHashTable().get(b"nope") is None
+
+    def test_overwrite(self):
+        table = BucketHashTable()
+        table.put(b"k", b"1")
+        table.put(b"k", b"2")
+        assert table.get(b"k") == b"2"
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = BucketHashTable()
+        table.put(b"k", b"v")
+        assert table.delete(b"k")
+        assert not table.delete(b"k")
+        assert len(table) == 0
+
+    def test_capacity(self):
+        table = BucketHashTable(max_entries=2)
+        table.put(b"a", b"1")
+        table.put(b"b", b"2")
+        with pytest.raises(CapacityError):
+            table.put(b"c", b"3")
+
+    def test_collisions_chain(self):
+        table = BucketHashTable(bucket_count=1)
+        for i in range(20):
+            table.put(f"key{i}".encode(), str(i).encode())
+        for i in range(20):
+            assert table.get(f"key{i}".encode()) == str(i).encode()
+        assert table.load_factor() == 20.0
+
+    def test_serialize_roundtrip(self):
+        table = BucketHashTable(bucket_count=8)
+        for i in range(30):
+            table.put(f"k{i}".encode(), f"v{i}".encode())
+        restored = BucketHashTable.deserialize(table.serialize())
+        assert dict(restored.items()) == dict(table.items())
+        assert restored.bucket_count == 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=16), st.binary(max_size=16), max_size=100
+    )
+)
+def test_hashtable_matches_dict(reference):
+    table = BucketHashTable(bucket_count=16)
+    for key, value in reference.items():
+        table.put(key, value)
+    assert dict(table.items()) == reference
+    restored = BucketHashTable.deserialize(table.serialize())
+    assert dict(restored.items()) == reference
+
+
+class TestExtent:
+    def test_translate(self):
+        extent = Extent(logical=10, physical=100, length=5)
+        assert extent.translate(12) == 102
+
+    def test_translate_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Extent(10, 100, 5).translate(20)
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            Extent(0, 0, 0)
+
+
+class TestExtentTree:
+    def test_insert_lookup(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 1000, 10))
+        tree.insert(Extent(10, 2000, 10))
+        assert tree.translate(5) == 1005
+        assert tree.translate(15) == 2005
+
+    def test_gap_unmapped(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 5))
+        tree.insert(Extent(10, 200, 5))
+        assert tree.lookup(7) is None
+        with pytest.raises(KeyError):
+            tree.translate(7)
+
+    def test_overlap_rejected(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 10))
+        with pytest.raises(ConfigurationError):
+            tree.insert(Extent(5, 500, 10))
+        with pytest.raises(ConfigurationError):
+            tree.insert(Extent(0, 500, 3))
+
+    def test_out_of_order_insert(self):
+        tree = ExtentTree()
+        tree.insert(Extent(20, 300, 5))
+        tree.insert(Extent(0, 100, 5))
+        assert [e.logical for e in tree] == [0, 20]
+
+    def test_translate_range_spans_extents(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 4))
+        tree.insert(Extent(4, 500, 4))
+        pieces = tree.translate_range(2, 4)
+        assert pieces == [(102, 2), (500, 2)]
+
+    def test_translate_range_hits_gap(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 2))
+        with pytest.raises(KeyError):
+            tree.translate_range(0, 5)

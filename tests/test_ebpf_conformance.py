@@ -1,0 +1,161 @@
+"""eBPF semantics conformance: edge cases of the 64-bit ISA.
+
+These pin down behaviours the kernel spec defines precisely (wraparound,
+unsigned vs signed comparisons, shift masking, division conventions) so
+that both execution environments — the interpreter and the hardware
+pipeline, which share semantics — match real eBPF.
+"""
+
+import pytest
+
+from repro.ebpf import BpfVm, assemble
+
+U64 = (1 << 64) - 1
+
+
+def run(source, context=b""):
+    return BpfVm(assemble(source)).run(context).return_value
+
+
+class TestArithmeticEdges:
+    def test_add_wraps_at_64_bits(self):
+        assert run("lddw r0, 0xffffffffffffffff\nadd r0, 2\nexit") == 1
+
+    def test_sub_underflow_wraps(self):
+        assert run("mov r0, 0\nsub r0, 1\nexit") == U64
+
+    def test_mul_overflow_keeps_low_bits(self):
+        assert run(
+            "lddw r0, 0x100000000\nlddw r3, 0x100000000\nmul r0, r3\nexit"
+        ) == 0
+
+    def test_div_is_unsigned(self):
+        # -8 as u64 divided by 2 is a huge number, not -4.
+        result = run("mov r0, 0\nsub r0, 8\nmov r3, 2\ndiv r0, r3\nexit")
+        assert result == ((U64 - 7) // 2)
+
+    def test_mod_by_zero_keeps_dst(self):
+        assert run("mov r0, 17\nmov r3, 0\nmod r0, r3\nexit") == 17
+
+    def test_shift_amount_masked_to_6_bits(self):
+        # lsh by 65 behaves as lsh by 1 (6-bit mask), kernel semantics.
+        assert run("mov r0, 1\nmov r3, 65\nlsh r0, r3\nexit") == 2
+        assert run("mov r0, 4\nmov r3, 66\nrsh r0, r3\nexit") == 1
+
+    def test_arsh_keeps_sign(self):
+        result = run("mov r0, 0\nsub r0, 16\narsh r0, 2\nexit")
+        assert result == (-4) & U64
+
+    def test_rsh_is_logical(self):
+        result = run("mov r0, 0\nsub r0, 16\nrsh r0, 2\nexit")
+        assert result == ((U64 - 15) >> 2)
+
+    def test_neg_of_zero(self):
+        assert run("mov r0, 0\nneg r0\nexit") == 0
+
+    def test_mov_imm_sign_extends(self):
+        # mov with a negative immediate sign-extends to 64 bits.
+        assert run("mov r0, -1\nexit") == U64
+
+
+class TestComparisonEdges:
+    def test_jgt_unsigned_wraps(self):
+        source = """
+            mov r3, 0
+            sub r3, 1      ; r3 = u64 max
+            mov r0, 0
+            jgt r3, 0, big
+            exit
+        big:
+            mov r0, 1
+            exit
+        """
+        assert run(source) == 1
+
+    def test_jsgt_signed(self):
+        source = """
+            mov r3, 0
+            sub r3, 1      ; r3 = -1 signed
+            mov r0, 0
+            jsgt r3, 0, positive
+            mov r0, 2
+            exit
+        positive:
+            mov r0, 1
+            exit
+        """
+        assert run(source) == 2
+
+    def test_jset_bit_test(self):
+        source = """
+            mov r3, 0b1010
+            mov r0, 0
+            jset r3, 0b0010, hit
+            exit
+        hit:
+            mov r0, 1
+            exit
+        """
+        assert run(source) == 1
+
+    def test_jset_miss(self):
+        source = """
+            mov r3, 0b1010
+            mov r0, 0
+            jset r3, 0b0101, hit
+            exit
+        hit:
+            mov r0, 1
+            exit
+        """
+        assert run(source) == 0
+
+    def test_jsle_boundary(self):
+        source = """
+            mov r3, 5
+            mov r0, 0
+            jsle r3, 5, le
+            exit
+        le:
+            mov r0, 1
+            exit
+        """
+        assert run(source) == 1
+
+
+class TestMemoryEdges:
+    def test_partial_width_loads(self):
+        context = (0x1122334455667788).to_bytes(8, "little")
+        assert run("ldxb r0, [r1+0]\nexit", context) == 0x88
+        assert run("ldxh r0, [r1+0]\nexit", context) == 0x7788
+        assert run("ldxw r0, [r1+0]\nexit", context) == 0x55667788
+        assert run("ldxdw r0, [r1+0]\nexit", context) == 0x1122334455667788
+
+    def test_store_truncates_to_width(self):
+        source = """
+            lddw r3, 0x1122334455667788
+            stxb [r10-1], r3
+            ldxb r0, [r10-1]
+            exit
+        """
+        assert run(source) == 0x88
+
+    def test_little_endian_layout(self):
+        source = """
+            mov r3, 0x0102
+            stxh [r10-2], r3
+            ldxb r0, [r10-2]
+            exit
+        """
+        assert run(source) == 0x02
+
+    def test_stack_slots_independent(self):
+        source = """
+            mov r3, 1
+            mov r4, 2
+            stxdw [r10-8], r3
+            stxdw [r10-16], r4
+            ldxdw r0, [r10-8]
+            exit
+        """
+        assert run(source) == 1

@@ -1,0 +1,207 @@
+"""Tests for eBPF instruction encoding/decoding and the assembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.ebpf import Instruction, Opcode, Program, assemble, disassemble
+
+
+class TestInstruction:
+    def test_bad_register(self):
+        with pytest.raises(ProtocolError):
+            Instruction(Opcode.MOV, dst=11)
+
+    def test_bad_offset(self):
+        with pytest.raises(ProtocolError):
+            Instruction(Opcode.JA, offset=1 << 15)
+
+    def test_lddw_takes_two_slots(self):
+        assert Instruction(Opcode.LDDW, dst=1, imm=1 << 40).slots == 2
+        assert Instruction(Opcode.MOV, dst=1).slots == 1
+
+    def test_encode_length(self):
+        assert len(Instruction(Opcode.MOV, dst=1, imm=5).encode()) == 8
+        assert len(Instruction(Opcode.LDDW, dst=1, imm=5).encode()) == 16
+
+    def test_classification(self):
+        assert Instruction(Opcode.ADD, dst=0, imm=1).is_alu
+        assert Instruction(Opcode.LDXW, dst=0, src=1).is_load
+        assert Instruction(Opcode.STXB, dst=1, src=0).is_store
+        assert Instruction(Opcode.JEQ, dst=0, imm=0, offset=1).is_cond_jump
+        assert Instruction(Opcode.EXIT).is_jump
+
+
+ENCODABLE_OPS = [
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.OR, Opcode.AND,
+    Opcode.LSH, Opcode.RSH, Opcode.MOD, Opcode.XOR, Opcode.MOV, Opcode.ARSH,
+    Opcode.LDXB, Opcode.LDXH, Opcode.LDXW, Opcode.LDXDW,
+    Opcode.STXB, Opcode.STXH, Opcode.STXW, Opcode.STXDW,
+    Opcode.STB, Opcode.STH, Opcode.STW, Opcode.STDW,
+    Opcode.JA, Opcode.JEQ, Opcode.JNE, Opcode.JGT, Opcode.JGE, Opcode.JLT,
+    Opcode.JLE, Opcode.JSET, Opcode.JSGT, Opcode.JSGE, Opcode.JSLT,
+    Opcode.JSLE, Opcode.CALL, Opcode.EXIT,
+]
+
+
+@given(
+    op=st.sampled_from(ENCODABLE_OPS),
+    dst=st.integers(min_value=0, max_value=10),
+    src=st.integers(min_value=0, max_value=10),
+    offset=st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+    imm=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+    reg_src=st.booleans(),
+)
+def test_encode_decode_roundtrip(op, dst, src, offset, imm, reg_src):
+    original = Instruction(op, dst=dst, src=src, offset=offset, imm=imm,
+                           uses_reg_src=reg_src)
+    decoded = Instruction.decode(original.encode())
+    assert decoded.opcode == original.opcode
+    assert decoded.dst == original.dst
+    assert decoded.src == original.src
+    assert decoded.offset == original.offset
+    assert decoded.imm == original.imm
+
+
+@given(imm=st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_lddw_roundtrip(imm):
+    original = Instruction(Opcode.LDDW, dst=3, imm=imm)
+    decoded = Instruction.decode(original.encode())
+    assert decoded.opcode is Opcode.LDDW
+    assert decoded.imm == imm
+
+
+class TestProgram:
+    def test_slot_indexing_with_lddw(self):
+        program = Program([
+            Instruction(Opcode.LDDW, dst=1, imm=99),
+            Instruction(Opcode.EXIT),
+        ])
+        assert len(program) == 3
+        assert program.at_slot(0).opcode is Opcode.LDDW
+        assert program.at_slot(2).opcode is Opcode.EXIT
+        with pytest.raises(ProtocolError):
+            program.at_slot(1)  # middle of LDDW
+
+    def test_binary_roundtrip(self):
+        program = Program([
+            Instruction(Opcode.MOV, dst=0, imm=7),
+            Instruction(Opcode.LDDW, dst=1, imm=1 << 40),
+            Instruction(Opcode.ADD, dst=0, src=1, uses_reg_src=True),
+            Instruction(Opcode.EXIT),
+        ])
+        restored = Program.decode(program.encode())
+        assert len(restored.instructions) == 4
+        assert restored.instructions[1].imm == 1 << 40
+
+    def test_decode_bad_length(self):
+        with pytest.raises(ProtocolError):
+            Program.decode(b"\x00" * 7)
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble("""
+            mov r0, 42
+            exit
+        """)
+        assert [i.opcode for i in program] == [Opcode.MOV, Opcode.EXIT]
+        assert program.instructions[0].imm == 42
+
+    def test_labels(self):
+        program = assemble("""
+            mov r0, 0
+            jeq r1, 0, done
+            add r0, 1
+        done:
+            exit
+        """)
+        jeq = program.instructions[1]
+        assert jeq.offset == 1  # skips the add
+
+    def test_backward_label(self):
+        program = assemble("""
+        top:
+            add r0, 1
+            ja top
+        """)
+        assert program.instructions[1].offset == -2
+
+    def test_lddw_slot_accounting_with_labels(self):
+        program = assemble("""
+            lddw r1, 0x1122334455667788
+            jeq r1, 0, out
+            mov r0, 1
+        out:
+            exit
+        """)
+        jeq = program.instructions[1]
+        # Slots: lddw=0,1; jeq=2; mov=3; exit=4. Offset from 3 to 4 is 1.
+        assert jeq.offset == 1
+
+    def test_memory_operands(self):
+        program = assemble("""
+            ldxdw r2, [r1+8]
+            stxw [r10-4], r2
+            stw [r10-8], 7
+            exit
+        """)
+        load = program.instructions[0]
+        assert (load.src, load.offset) == (1, 8)
+        store = program.instructions[1]
+        assert (store.dst, store.offset, store.src) == (10, -4, 2)
+        imm_store = program.instructions[2]
+        assert imm_store.imm == 7
+
+    def test_register_vs_imm_source(self):
+        program = assemble("add r0, r1\nadd r0, 5\nexit")
+        assert program.instructions[0].uses_reg_src
+        assert not program.instructions[1].uses_reg_src
+
+    def test_comments_and_blanks_ignored(self):
+        program = assemble("""
+            ; a comment
+
+            mov r0, 1  ; trailing
+            exit
+        """)
+        assert len(program.instructions) == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ProtocolError):
+            assemble("bogus r0, r1")
+
+    def test_unknown_label(self):
+        with pytest.raises(ProtocolError):
+            assemble("ja nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(ProtocolError):
+            assemble("x:\nx:\nexit")
+
+    def test_call_and_exit(self):
+        program = assemble("call 1\nexit")
+        assert program.instructions[0].imm == 1
+
+
+class TestDisassembler:
+    def test_roundtrip_through_text(self):
+        source = """
+            mov r0, 0
+            lddw r1, 0xdeadbeef
+            ldxdw r2, [r1+16]
+            jeq r2, 0, +1
+            add r0, r2
+            exit
+        """
+        program = assemble(source)
+        text = disassemble(program)
+        reassembled = assemble(text)
+        assert reassembled.encode() == program.encode()
+
+    def test_readable_output(self):
+        program = assemble("mov r3, 9\nexit")
+        text = disassemble(program)
+        assert "mov r3, 9" in text
+        assert "exit" in text

@@ -1,0 +1,194 @@
+"""Tests for the evaluation harness (small configurations)."""
+
+import pytest
+
+from repro.eval.analytics import format_analytics, run_analytics
+from repro.eval.compiler import format_compiler, run_compiler
+from repro.eval.corfu import format_corfu, run_corfu
+from repro.eval.efficiency import format_efficiency, run_efficiency
+from repro.eval.fail2ban import format_fail2ban, run_fail2ban
+from repro.eval.figures import format_figures, run_figures
+from repro.eval.kvssd import format_kvssd, run_kvssd
+from repro.eval.loadbalancer import format_loadbalancer, run_loadbalancer
+from repro.eval.pointer_chase import format_pointer_chase, run_pointer_chase
+from repro.eval.predictability import format_predictability, run_predictability
+from repro.eval.recovery import format_recovery, run_recovery
+from repro.eval.reconfig import format_reconfig, run_reconfig
+from repro.eval.report import Table
+from repro.eval.table1 import only_complete_category, run_table1, table1_categories
+from repro.eval.translation import format_translation, run_translation
+
+
+class TestReportTable:
+    def test_render(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", True)
+        text = table.render()
+        assert "Demo" in text
+        assert "2.50" in text
+        assert "yes" in text
+
+    def test_wrong_width(self):
+        with pytest.raises(ValueError):
+            Table("t", ["a"]).add_row(1, 2)
+
+
+class TestTable1:
+    def test_seven_rows(self):
+        assert len(table1_categories()) == 7
+
+    def test_hyperion_is_only_complete(self):
+        assert only_complete_category() == "Hyperion (this work)"
+
+    def test_every_surveyed_category_misses_something(self):
+        for category in table1_categories():
+            if "Hyperion" not in category.name:
+                assert category.missing_legs(), category.name
+
+    def test_commercial_dpus_cpu_centric(self):
+        dpus = next(c for c in table1_categories() if "Commercial" in c.name)
+        assert "CPU mediates" in "; ".join(dpus.missing_legs())
+
+    def test_render(self):
+        text = run_table1().render()
+        assert "GPU-with-network" in text
+        assert "Hyperion (this work)" in text
+
+
+class TestFiguresAndEfficiency:
+    def test_figures_ok(self):
+        report = run_figures()
+        assert report.ok, report.mismatches
+        assert "nvme-host-ip" in format_figures(report)
+
+    def test_efficiency_bands(self):
+        report = run_efficiency()
+        assert report.energy_in_band
+        assert report.volume_in_band
+        assert report.hyperion_tdp_w == pytest.approx(230.0)
+        assert "4-8x" in format_efficiency(report)
+
+
+class TestPointerChaseShape:
+    def test_offload_wins_and_scales_with_depth(self):
+        points = run_pointer_chase(key_counts=(16, 1024), propagations=(10e-6,))
+        shallow, deep = points
+        assert deep.tree_height > shallow.tree_height
+        assert deep.speedup > shallow.speedup
+        assert all(p.offload_latency < p.client_side_latency for p in points)
+
+    def test_client_rtts_track_height(self):
+        points = run_pointer_chase(key_counts=(256,), propagations=(1e-6,))
+        assert points[0].client_side_rtts == points[0].tree_height + 1
+
+    def test_format(self):
+        text = format_pointer_chase(
+            run_pointer_chase(key_counts=(16,), propagations=(1e-6,))
+        )
+        assert "speedup" in text
+
+
+class TestFail2BanShape:
+    def test_dpu_wins_with_identical_verdicts(self):
+        dpu, base = run_fail2ban(packet_count=300)
+        assert dpu.banned == base.banned
+        assert dpu.total_time < base.total_time
+        assert "speedup" in format_fail2ban([dpu, base])
+
+
+class TestLoadBalancerShape:
+    def test_overflow_prevents_breakage(self):
+        overflow, drop = run_loadbalancer(packet_count=1000, flow_count=300,
+                                          dram_entries=32)
+        assert overflow.broken_connections == 0
+        assert drop.broken_connections > 0
+        assert overflow.cold_hits > 0
+        assert drop.flash_state_bytes == 0
+        assert "overflow" in format_loadbalancer([overflow, drop])
+
+
+class TestTranslationShape:
+    def test_gap_grows_with_working_set(self):
+        small, large = run_translation(
+            working_sets=(1 << 20, 128 << 20), accesses=4000
+        )
+        assert large.segment_advantage > small.segment_advantage
+        assert large.tlb_hit_rate < small.tlb_hit_rate
+        assert "advantage" in format_translation([small, large])
+
+
+class TestPredictabilityShape:
+    def test_pipeline_has_zero_jitter(self):
+        hw, cpu = run_predictability(runs=200)
+        # effectively zero: only float rounding noise, ~14 orders below ns
+        assert hw.stddev_latency < 1e-15
+        assert hw.jitter_ratio == pytest.approx(1.0)
+        assert cpu.stddev_latency > 0
+        assert cpu.jitter_ratio > 1.0
+        assert hw.energy_per_op_j < cpu.energy_per_op_j
+        assert "p99/p50" in format_predictability([hw, cpu])
+
+
+class TestReconfigShape:
+    def test_latencies_in_band(self):
+        report = run_reconfig(tenants=6)
+        assert report.granted == 6
+        assert report.in_band_fraction == 1.0
+        assert 10e-3 <= report.mean_reconfig <= 100e-3
+        assert "ICAP" in format_reconfig(report)
+
+
+class TestCorfuShape:
+    def test_throughput_scales_and_failover_works(self):
+        points = run_corfu(client_counts=(1, 4), appends_per_client=10)
+        assert points[1].throughput > points[0].throughput * 2
+        assert all(p.failover_reads_ok for p in points)
+        assert "appends/s" in format_corfu(points)
+
+
+class TestAnalyticsShape:
+    def test_dpu_advantage_grows_with_size(self):
+        small, large = run_analytics(row_counts=(1000, 50000))
+        assert small.answers_agree and large.answers_agree
+        assert large.speedup > small.speedup
+        assert large.speedup > 1.5
+        assert "agree" in format_analytics([small, large])
+
+
+class TestCompilerShape:
+    def test_verifier_splits_corpus_correctly(self):
+        rows = run_compiler()
+        for row in rows:
+            assert row.verified == row.expected_ok, row.name
+
+    def test_fusion_never_hurts_depth_or_ffs(self):
+        for row in run_compiler():
+            if row.verified:
+                assert row.depth_fused <= row.depth_unfused
+                assert row.ffs_fused <= row.ffs_unfused
+
+    def test_fusion_helps_somewhere(self):
+        rows = [r for r in run_compiler() if r.verified]
+        assert any(r.depth_fused < r.depth_unfused for r in rows)
+        assert "fusion" in format_compiler(rows)
+
+
+class TestRecoveryShape:
+    def test_recovery_correct_at_all_sizes(self):
+        points = run_recovery(durable_counts=(5, 50))
+        for p in points:
+            assert p.recovered_segments == p.durable_segments
+            assert p.data_intact
+            assert p.ephemeral_gone
+        assert points[1].persist_bytes > points[0].persist_bytes
+        assert "persistence" in format_recovery(points)
+
+
+class TestKvssdShape:
+    def test_transport_ordering(self):
+        points = {p.transport: p for p in run_kvssd(operations=30)}
+        assert points["udp"].mean_get < points["tcp"].mean_get
+        assert points["homa"].mean_get < points["tcp"].mean_get
+        assert points["rdma(read)"].mean_get < points["udp"].mean_get
+        assert "transport" in format_kvssd(list(points.values()))

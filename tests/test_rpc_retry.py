@@ -1,0 +1,107 @@
+"""Tests for RPC timeout/retry over lossy datagram transports."""
+
+import pytest
+
+from repro.hw.net.link import Link
+from repro.hw.net.port import NetworkPort
+from repro.sim import Simulator
+from repro.transport import RpcClient, RpcError, RpcServer, UdpSocket
+
+
+def lossy_rpc_pair(sim, loss_fn):
+    """Client whose *requests* traverse a lossy link; replies are clean."""
+    client_port = NetworkPort(sim, "client")
+    server_port = NetworkPort(sim, "server")
+    to_server = Link(sim, loss_fn=loss_fn)
+    to_client = Link(sim)
+    client_port.add_route("*", to_server)
+    server_port.attach_rx(to_server)
+    server_port.add_route("*", to_client)
+    client_port.attach_rx(to_client)
+    server = RpcServer(sim, UdpSocket(sim, server_port))
+    client = RpcClient(sim, UdpSocket(sim, client_port))
+    return server, client
+
+
+class TestRetry:
+    def test_retry_recovers_lost_request(self):
+        sim = Simulator()
+        drops = [True, False]  # first request lost, retry delivered
+
+        def loss(frame):
+            return drops.pop(0) if drops else False
+
+        server, client = lossy_rpc_pair(sim, loss)
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            result = yield from client.call(
+                "server", "echo", 42, timeout=1e-3, retries=3
+            )
+            return result, sim.now
+
+        result, elapsed = sim.run_process(scenario())
+        assert result == 42
+        assert elapsed > 1e-3  # one timeout was paid
+
+    def test_exhausted_retries_raise(self):
+        sim = Simulator()
+        server, client = lossy_rpc_pair(sim, lambda f: True)  # black hole
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            yield from client.call(
+                "server", "echo", 1, timeout=1e-3, retries=2
+            )
+
+        with pytest.raises(RpcError, match="timed out after 3 attempt"):
+            sim.run_process(scenario())
+
+    def test_no_timeout_waits_forever(self):
+        sim = Simulator()
+        server, client = lossy_rpc_pair(sim, lambda f: True)
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            yield from client.call("server", "echo", 1)  # no timeout
+
+        proc = sim.process(scenario())
+        sim.run(until=10.0)
+        assert proc.is_alive  # still waiting, by design
+
+    def test_duplicate_response_after_retry_is_harmless(self):
+        """At-least-once: a slow (not lost) response racing a retry."""
+        sim = Simulator()
+        calls = [0]
+
+        def counting_echo(x):
+            calls[0] += 1
+            yield sim.timeout(2e-3)  # slower than the client's patience
+            return x
+
+        server, client = lossy_rpc_pair(sim, None)
+        server.register("echo", counting_echo)
+
+        def scenario():
+            result = yield from client.call(
+                "server", "echo", 7, timeout=1.5e-3, retries=3
+            )
+            return result
+
+        assert sim.run_process(scenario()) == 7
+        assert calls[0] >= 2  # the handler ran more than once (idempotent)
+
+    def test_clean_network_zero_overhead(self):
+        sim = Simulator()
+        server, client = lossy_rpc_pair(sim, None)
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            result = yield from client.call(
+                "server", "echo", "fast", timeout=1.0, retries=5
+            )
+            return result, sim.now
+
+        result, elapsed = sim.run_process(scenario())
+        assert result == "fast"
+        assert elapsed < 1e-3  # no timeout fired

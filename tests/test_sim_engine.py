@@ -1,0 +1,284 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+class TestTimeout:
+    def test_time_advances(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(5.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(5.0)
+
+    def test_zero_delay(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value_passthrough(self):
+        sim = Simulator()
+
+        def proc():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        assert sim.run_process(proc()) == "hello"
+
+
+class TestEventOrdering:
+    def test_fifo_at_same_time(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name):
+            yield sim.timeout(1.0)
+            log.append(name)
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_time_ordering(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            log.append(name)
+
+        sim.process(worker("late", 10.0))
+        sim.process(worker("early", 1.0))
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield sim.timeout(10.0)
+            log.append("done")
+
+        sim.process(worker())
+        sim.run(until=5.0)
+        assert log == []
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["done"]
+
+
+class TestEvents:
+    def test_manual_succeed(self):
+        sim = Simulator()
+        gate = sim.event()
+        result = []
+
+        def waiter():
+            value = yield gate
+            result.append(value)
+
+        def opener():
+            yield sim.timeout(3.0)
+            gate.succeed("opened")
+
+        sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert result == ["opened"]
+
+    def test_fail_raises_in_waiter(self):
+        sim = Simulator()
+        gate = sim.event()
+
+        def waiter():
+            yield gate
+
+        def breaker():
+            yield sim.timeout(1.0)
+            gate.fail(RuntimeError("boom"))
+
+        proc = sim.process(waiter())
+        sim.process(breaker())
+        sim.run()
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, RuntimeError)
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.succeed(1)
+        with pytest.raises(RuntimeError):
+            gate.succeed(2)
+
+    def test_late_waiter_still_woken(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.succeed("early")
+
+        def late():
+            yield sim.timeout(5.0)
+            value = yield gate
+            return value
+
+        assert sim.run_process(late()) == "early"
+
+
+class TestProcess:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        assert sim.run_process(proc()) == 42
+
+    def test_exception_propagates(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        with pytest.raises(ValueError, match="inner"):
+            sim.run_process(proc())
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2.0)
+            return "child-result"
+
+        def parent():
+            value = yield sim.process(child())
+            return (value, sim.now)
+
+        assert sim.run_process(parent()) == ("child-result", 2.0)
+
+    def test_yield_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        proc = sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+        assert proc.is_alive  # never finished
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self):
+        sim = Simulator()
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+                return "slept"
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        def poker(target):
+            yield sim.timeout(1.0)
+            target.interrupt("wake up")
+
+        target = sim.process(sleeper())
+        sim.process(poker(target))
+        sim.run()
+        assert target.value == ("interrupted", "wake up", 1.0)
+
+    def test_interrupt_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt("too late")
+        sim.run()
+        assert proc.value == "done"
+
+    def test_stale_event_after_interrupt_ignored(self):
+        sim = Simulator()
+        resumed = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(10.0)
+                resumed.append("timeout")
+            except Interrupt:
+                yield sim.timeout(100.0)
+                resumed.append("after-interrupt")
+
+        def poker(target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        target = sim.process(sleeper())
+        sim.process(poker(target))
+        sim.run()
+        # The original 10s timeout must not resume the process twice.
+        assert resumed == ["after-interrupt"]
+        assert target.triggered
+
+
+class TestComposition:
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+
+        def proc():
+            fast = sim.timeout(1.0, value="fast")
+            slow = sim.timeout(5.0, value="slow")
+            results = yield sim.any_of([fast, slow])
+            return (sim.now, list(results.values()))
+
+        now, values = sim.run_process(proc())
+        assert now == 1.0
+        assert values == ["fast"]
+
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+
+        def proc():
+            a = sim.timeout(1.0, value="a")
+            b = sim.timeout(5.0, value="b")
+            results = yield sim.all_of([a, b])
+            return (sim.now, sorted(results.values()))
+
+        assert sim.run_process(proc()) == (5.0, ["a", "b"])
+
+    def test_empty_all_of_fires_immediately(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.all_of([])
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.event()  # never triggered
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run_process(stuck())

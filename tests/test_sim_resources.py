@@ -1,0 +1,164 @@
+"""Tests for simulated resources and stores."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+class TestResource:
+    def test_grant_immediately_when_free(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def proc():
+            yield res.request()
+            held_at = sim.now
+            res.release()
+            return held_at
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_contention_serializes(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield res.request()
+            log.append((name, "got", sim.now))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(worker("a", 5.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert log == [("a", "got", 0.0), ("b", "got", 5.0)]
+
+    def test_capacity_two_runs_in_parallel(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def worker(name):
+            yield res.request()
+            log.append((name, sim.now))
+            yield sim.timeout(3.0)
+            res.release()
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert log == [("a", 0.0), ("b", 0.0), ("c", 3.0)]
+
+    def test_release_without_request_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield sim.timeout(1.0)
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=2.0)
+        assert res.queue_length == 1
+        sim.run()
+        assert res.queue_length == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def proc():
+            yield store.put("x")
+            item = yield store.get()
+            return item
+
+        assert sim.run_process(proc()) == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return (item, sim.now)
+
+        def producer():
+            yield sim.timeout(4.0)
+            yield store.put("late-item")
+
+        consumer_proc = sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert consumer_proc.value == ("late-item", 4.0)
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("first")
+            log.append(("put-first", sim.now))
+            yield store.put("second")
+            log.append(("put-second", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            item = yield store.get()
+            log.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-first", 0.0) in log
+        assert ("put-second", 5.0) in log
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def proc():
+            yield store.put(1)
+            yield store.put(2)
+
+        sim.run_process(proc())
+        assert len(store) == 2

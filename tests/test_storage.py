@@ -1,0 +1,280 @@
+"""Tests for NVMe-oF, the KV-SSD, and the Corfu shared log."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.hw.net import Network
+from repro.hw.nvme import Namespace, NvmeController
+from repro.sim import Simulator
+from repro.storage import (
+    CorfuClient,
+    CorfuLogUnit,
+    CorfuSequencer,
+    KvSsd,
+    KvSsdClient,
+    KvSsdService,
+    NvmeOfInitiator,
+    NvmeOfTarget,
+)
+from repro.transport import RpcClient, RpcServer, UdpSocket
+
+
+def make_rpc(sim, net, name):
+    return RpcServer(sim, UdpSocket(sim, net.endpoint(name)))
+
+
+def make_client(sim, net, name):
+    return RpcClient(sim, UdpSocket(sim, net.endpoint(name)))
+
+
+def make_controller(sim, name="ssd", blocks=65536):
+    controller = NvmeController(sim, name)
+    controller.add_namespace(Namespace(1, blocks))
+    return controller
+
+
+class TestNvmeOf:
+    def setup_target(self, sim):
+        net = Network(sim)
+        server = make_rpc(sim, net, "dpu")
+        target = NvmeOfTarget(sim, server, make_controller(sim))
+        initiator = NvmeOfInitiator(make_client(sim, net, "host"), "dpu")
+        return target, initiator
+
+    def test_remote_write_read(self):
+        sim = Simulator()
+        target, initiator = self.setup_target(sim)
+
+        def scenario():
+            yield from initiator.write(10, b"remote block data")
+            data = yield from initiator.read(10)
+            return data
+
+        data = sim.run_process(scenario())
+        assert data[:17] == b"remote block data"
+        assert target.commands_served == 2
+
+    def test_remote_flush(self):
+        sim = Simulator()
+        __, initiator = self.setup_target(sim)
+
+        def scenario():
+            yield from initiator.flush()
+
+        sim.run_process(scenario())
+
+    def test_remote_read_slower_than_local(self):
+        """The network adds RTT on top of device latency."""
+        sim = Simulator()
+        __, initiator = self.setup_target(sim)
+
+        def remote():
+            yield from initiator.read(0)
+            return sim.now
+
+        remote_time = sim.run_process(remote())
+
+        sim2 = Simulator()
+        controller = make_controller(sim2)
+        qp = controller.create_queue_pair()
+        controller.start()
+
+        def local():
+            from repro.hw.nvme import NvmeCommand, NvmeOpcode
+            yield qp.submit(NvmeCommand(NvmeOpcode.READ, lba=0))
+            return sim2.now
+
+        local_time = sim2.run_process(local())
+        assert remote_time > local_time
+
+
+class TestKvSsd:
+    def make_device(self, sim):
+        return KvSsd(sim, make_controller(sim), memtable_limit=8)
+
+    def test_put_get(self):
+        sim = Simulator()
+        device = self.make_device(sim)
+
+        def scenario():
+            yield from device.put(b"user:1", b"alice")
+            value = yield from device.get(b"user:1")
+            return value
+
+        assert sim.run_process(scenario()) == b"alice"
+
+    def test_get_missing(self):
+        sim = Simulator()
+        device = self.make_device(sim)
+
+        def scenario():
+            value = yield from device.get(b"ghost")
+            return value
+
+        assert sim.run_process(scenario()) is None
+
+    def test_delete(self):
+        sim = Simulator()
+        device = self.make_device(sim)
+
+        def scenario():
+            yield from device.put(b"k", b"v")
+            yield from device.delete(b"k")
+            value = yield from device.get(b"k")
+            return value
+
+        assert sim.run_process(scenario()) is None
+
+    def test_flush_persists_sstable_to_flash(self):
+        sim = Simulator()
+        device = self.make_device(sim)
+
+        def scenario():
+            for i in range(20):  # exceeds memtable_limit=8 -> flushes
+                yield from device.put(f"key{i:02d}".encode(), b"value")
+            restored = yield from device.recover_sstables()
+            return restored
+
+        restored = sim.run_process(scenario())
+        assert len(restored) >= 1
+        assert sum(len(t) for t in restored) >= 8
+
+    def test_scan(self):
+        sim = Simulator()
+        device = self.make_device(sim)
+
+        def scenario():
+            for i in range(5):
+                yield from device.put(f"k{i}".encode(), str(i).encode())
+            results = yield from device.scan(b"k1", b"k4")
+            return results
+
+        results = sim.run_process(scenario())
+        assert [k for k, __ in results] == [b"k1", b"k2", b"k3"]
+
+    def test_remote_service(self):
+        sim = Simulator()
+        net = Network(sim)
+        device = self.make_device(sim)
+        KvSsdService(make_rpc(sim, net, "kv-dpu"), device)
+        stub = KvSsdClient(make_client(sim, net, "app"), "kv-dpu")
+
+        def scenario():
+            yield from stub.put(b"color", b"green")
+            value = yield from stub.get(b"color")
+            yield from stub.delete(b"color")
+            gone = yield from stub.get(b"color")
+            return value, gone
+
+        assert sim.run_process(scenario()) == (b"green", None)
+
+
+class TestCorfu:
+    def setup_log(self, sim, replicas=2):
+        net = Network(sim)
+        CorfuSequencer(make_rpc(sim, net, "sequencer"))
+        units = []
+        for i in range(replicas):
+            unit = CorfuLogUnit(
+                sim, make_rpc(sim, net, f"unit{i}"), make_controller(sim, f"ssd{i}")
+            )
+            units.append(unit)
+        client = CorfuClient(
+            make_client(sim, net, "writer"),
+            "sequencer",
+            [f"unit{i}" for i in range(replicas)],
+        )
+        return client, units, net
+
+    def test_append_assigns_positions(self):
+        sim = Simulator()
+        client, __, __ = self.setup_log(sim)
+
+        def scenario():
+            first = yield from client.append(b"entry-0")
+            second = yield from client.append(b"entry-1")
+            return first, second
+
+        assert sim.run_process(scenario()) == (0, 1)
+
+    def test_read_back(self):
+        sim = Simulator()
+        client, __, __ = self.setup_log(sim)
+
+        def scenario():
+            position = yield from client.append(b"hello log")
+            data = yield from client.read(position)
+            return data
+
+        assert sim.run_process(scenario())[:9] == b"hello log"
+
+    def test_write_once_enforced(self):
+        sim = Simulator()
+        client, units, net = self.setup_log(sim, replicas=1)
+        rogue = CorfuClient(make_client(sim, net, "rogue"), "sequencer", ["unit0"])
+
+        def scenario():
+            position = yield from client.append(b"first")
+            # Bypass the sequencer and try to overwrite position 0.
+            yield from rogue.client.call(
+                "unit0", "corfu.write", position, b"overwrite",
+                request_size=64, response_size=16,
+            )
+
+        with pytest.raises(Exception, match="already written"):
+            sim.run_process(scenario())
+
+    def test_failover_to_replica(self):
+        sim = Simulator()
+        client, units, __ = self.setup_log(sim, replicas=2)
+
+        def scenario():
+            position = yield from client.append(b"replicated")
+            units[0].fail()
+            data = yield from client.read(position)
+            return data
+
+        assert sim.run_process(scenario())[:10] == b"replicated"
+
+    def test_all_replicas_down(self):
+        sim = Simulator()
+        client, units, __ = self.setup_log(sim, replicas=2)
+
+        def scenario():
+            position = yield from client.append(b"x")
+            for unit in units:
+                unit.fail()
+            yield from client.read(position)
+
+        with pytest.raises(ProtocolError, match="no replica"):
+            sim.run_process(scenario())
+
+    def test_tail_tracks_appends(self):
+        sim = Simulator()
+        client, __, __ = self.setup_log(sim)
+
+        def scenario():
+            for i in range(5):
+                yield from client.append(f"e{i}".encode())
+            tail = yield from client.tail()
+            return tail
+
+        assert sim.run_process(scenario()) == 5
+
+    def test_concurrent_appenders_get_unique_positions(self):
+        sim = Simulator()
+        client, units, net = self.setup_log(sim)
+        other = CorfuClient(
+            make_client(sim, net, "writer2"), "sequencer", ["unit0", "unit1"]
+        )
+        positions = []
+
+        def appender(corfu, count):
+            for i in range(count):
+                position = yield from corfu.append(b"data")
+                positions.append(position)
+
+        sim.process(appender(client, 5))
+        sim.process(appender(other, 5))
+        sim.run()
+        assert sorted(positions) == list(range(10))

@@ -1,0 +1,106 @@
+"""Tests for ZNS-backed Corfu log units (ZONE_APPEND placement)."""
+
+import pytest
+
+from repro.hw.net import Network
+from repro.hw.nvme import NvmeController, ZonedNamespace
+from repro.sim import Simulator
+from repro.storage import CorfuClient, CorfuLogUnit, CorfuSequencer
+from repro.transport import RpcClient, RpcServer, UdpSocket
+
+
+def make_zns_log(sim, zones=4, zone_blocks=64):
+    net = Network(sim)
+    CorfuSequencer(RpcServer(sim, UdpSocket(sim, net.endpoint("sequencer"))))
+    controller = NvmeController(sim, "zns-flash")
+    controller.add_namespace(ZonedNamespace(1, zones, zone_blocks))
+    unit = CorfuLogUnit(
+        sim,
+        RpcServer(sim, UdpSocket(sim, net.endpoint("unit0"))),
+        controller,
+        use_zone_append=True,
+    )
+    client = CorfuClient(
+        RpcClient(sim, UdpSocket(sim, net.endpoint("writer"))),
+        "sequencer",
+        ["unit0"],
+    )
+    return unit, client, controller
+
+
+class TestZnsCorfu:
+    def test_append_and_read_back(self):
+        sim = Simulator()
+        unit, client, __ = make_zns_log(sim)
+
+        def scenario():
+            p0 = yield from client.append(b"zns entry zero")
+            p1 = yield from client.append(b"zns entry one")
+            d0 = yield from client.read(p0)
+            d1 = yield from client.read(p1)
+            return p0, p1, d0, d1
+
+        p0, p1, d0, d1 = sim.run_process(scenario())
+        assert (p0, p1) == (0, 1)
+        assert d0[:14] == b"zns entry zero"
+        assert d1[:13] == b"zns entry one"
+
+    def test_device_assigns_sequential_lbas(self):
+        sim = Simulator()
+        unit, client, controller = make_zns_log(sim)
+
+        def scenario():
+            for i in range(5):
+                yield from client.append(f"e{i}".encode())
+
+        sim.run_process(scenario())
+        # ZONE_APPEND placed entries at the zone's write pointer in order.
+        assert sorted(unit._written.values()) == list(unit._written.values())
+        zns = controller.namespaces[1]
+        assert zns.zones[0].write_pointer == 5
+
+    def test_write_once_still_enforced(self):
+        sim = Simulator()
+        unit, client, __ = make_zns_log(sim)
+
+        def scenario():
+            position = yield from client.append(b"first")
+            yield from client.client.call(
+                "unit0", "corfu.write", position, b"again",
+                request_size=64, response_size=16,
+            )
+
+        with pytest.raises(Exception, match="already written"):
+            sim.run_process(scenario())
+
+    def test_rolls_to_next_zone_when_full(self):
+        sim = Simulator()
+        unit, client, controller = make_zns_log(sim, zones=3, zone_blocks=2)
+
+        def scenario():
+            positions = []
+            for i in range(5):  # 5 entries > 2 per zone
+                position = yield from client.append(f"e{i}".encode())
+                positions.append(position)
+            data = yield from client.read(positions[4])
+            return data
+
+        data = sim.run_process(scenario())
+        assert data[:2] == b"e4"
+        zns = controller.namespaces[1]
+        assert zns.zones[0].write_pointer == 2
+        assert zns.zones[1].write_pointer == 2
+        assert zns.zones[2].write_pointer == 1
+        assert unit._active_zone == 2
+
+    def test_namespace_full(self):
+        sim = Simulator()
+        unit, client, __ = make_zns_log(sim, zones=1, zone_blocks=2)
+
+        def scenario():
+            yield from client.append(b"a")
+            yield from client.append(b"b")
+            yield from client.append(b"c")  # nowhere left
+
+        with pytest.raises(Exception, match="namespace full"):
+            sim.run_process(scenario())

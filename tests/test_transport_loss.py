@@ -1,0 +1,127 @@
+"""Failure injection: transports over lossy links.
+
+TCP must retransmit and still deliver; UDP loses datagrams silently —
+the reliability split the RPC layer's users choose between.
+"""
+
+import random
+
+import pytest
+
+from repro.hw.net.frames import Frame
+from repro.hw.net.link import Link
+from repro.hw.net.port import NetworkPort
+from repro.sim import Simulator
+from repro.transport.tcp import TcpStack
+from repro.transport.udp import UdpSocket
+
+
+def lossy_pair(sim, loss_fn):
+    """Two ports wired directly with a lossy A->B link and a clean B->A."""
+    a = NetworkPort(sim, "a")
+    b = NetworkPort(sim, "b")
+    a_to_b = Link(sim, loss_fn=loss_fn)
+    b_to_a = Link(sim)
+    a.add_route("*", a_to_b)
+    b.attach_rx(a_to_b)
+    b.add_route("*", b_to_a)
+    a.attach_rx(b_to_a)
+    return a, b
+
+
+class TestTcpUnderLoss:
+    def test_retransmission_delivers(self):
+        sim = Simulator()
+        rng = random.Random(4)
+        # Drop 30% of frames a->b (data direction).
+        a_port, b_port = lossy_pair(sim, lambda f: rng.random() < 0.3)
+        client = TcpStack(sim, a_port)
+        server = TcpStack(sim, b_port)
+        got = []
+
+        def server_side():
+            connection = yield server.accept()
+            for _ in range(5):
+                payload, size = yield connection.recv()
+                got.append(payload)
+
+        def client_side():
+            connection = yield from client.connect("b")
+            for i in range(5):
+                yield from connection.send(f"msg-{i}", 20_000)
+            return connection
+
+        sim.process(server_side())
+        proc = sim.process(client_side())
+        sim.run(until=5.0)
+        assert got == [f"msg-{i}" for i in range(5)]
+        assert proc.value.retransmissions > 0
+
+    def test_loss_costs_time(self):
+        def run(loss):
+            sim = Simulator()
+            rng = random.Random(11)
+            a_port, b_port = lossy_pair(
+                sim, (lambda f: rng.random() < loss) if loss else None
+            )
+            client = TcpStack(sim, a_port)
+            server = TcpStack(sim, b_port)
+            done = []
+
+            def server_side():
+                connection = yield server.accept()
+                yield connection.recv()
+                done.append(sim.now)
+
+            def client_side():
+                connection = yield from client.connect("b")
+                yield from connection.send("bulk", 50_000)
+
+            sim.process(server_side())
+            sim.process(client_side())
+            sim.run(until=5.0)
+            return done[0]
+
+        assert run(0.3) > run(0.0)
+
+
+class TestUdpUnderLoss:
+    def test_datagrams_silently_lost(self):
+        sim = Simulator()
+        counter = [0]
+
+        def drop_every_other(frame):
+            counter[0] += 1
+            return counter[0] % 2 == 0
+
+        a_port, b_port = lossy_pair(sim, drop_every_other)
+        a = UdpSocket(sim, a_port)
+        b = UdpSocket(sim, b_port)
+
+        def sender():
+            for i in range(10):
+                yield from a.sendto("b", i, 100)
+
+        sim.process(sender())
+        sim.run()
+        assert a.datagrams_sent == 10
+        assert b.datagrams_received == 5
+
+    def test_fragmented_datagram_dies_on_one_lost_fragment(self):
+        sim = Simulator()
+        counter = [0]
+
+        def drop_third_frame(frame):
+            counter[0] += 1
+            return counter[0] == 3
+
+        a_port, b_port = lossy_pair(sim, drop_third_frame)
+        a = UdpSocket(sim, a_port)
+        b = UdpSocket(sim, b_port)
+
+        def sender():
+            yield from a.sendto("b", "big", 50_000)  # many fragments
+
+        sim.process(sender())
+        sim.run()
+        assert b.datagrams_received == 0  # the whole datagram is gone
