@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-tables eval examples all
+.PHONY: install test bench bench-tables eval chaos examples all
 
 install:
 	pip install -e .
@@ -14,6 +14,13 @@ bench-tables:
 
 eval:
 	python -m repro.eval
+
+# E13 chaos evaluation: replicated cluster under a scripted fault storm.
+# The fault-injection smoke tests also run under tier-1 `make test`
+# (tests/test_faults.py).
+chaos:
+	python -m repro.eval e13
+	pytest tests/test_faults.py -q
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,0 +1,40 @@
+"""E13 bench: the replicated KV cluster rides out a scripted fault storm.
+
+The paper's availability argument (§2.1 "boot, recover, and serve without a
+host"; §2.4 multi-DPU applications) only holds if a dead DPU is a latency
+event, not an outage. Expected shape: with RF=2 and one of three DPUs
+killed mid-run, client-driven failover keeps request availability >= 99%
+while p99 inflates by the retry/backoff cost; and the same FaultPlan seed
+reproduces a byte-identical fault schedule — chaos, but deterministic.
+"""
+
+from conftest import emit
+
+from repro.eval.chaos import format_chaos, run_chaos
+
+
+def test_bench_chaos_failover(benchmark):
+    report = benchmark.pedantic(run_chaos, rounds=1, iterations=1)
+    emit(format_chaos(report))
+    # One DPU of three died mid-run and stayed dead...
+    assert report.kill_time is not None
+    assert report.faults_injected >= 1
+    # ...yet availability holds: every key keeps a live replica under RF=2.
+    assert report.availability >= 0.99
+    assert report.failovers > 0
+    # Survival is not free: the storm shows up in the tail.
+    assert report.p99_inflation > 1.0
+    # The client recovered within a few RPC timeouts of the kill.
+    assert report.recovery_time is not None
+    assert report.recovery_time < 20e-3
+
+
+def test_bench_chaos_schedule_reproducible(benchmark):
+    first = benchmark.pedantic(
+        run_chaos, kwargs={"ops": 80, "preload": 16}, rounds=1, iterations=1
+    )
+    second = run_chaos(ops=80, preload=16)
+    # Same seed, same workload: the fired-fault log is byte-identical.
+    assert first.schedule == second.schedule
+    assert len(first.schedule) > 0
+    assert first.availability == second.availability

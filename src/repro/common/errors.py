@@ -23,3 +23,18 @@ class VerificationError(ReproError):
 
 class PowerLossError(ReproError):
     """Raised to model an abrupt power failure on a device."""
+
+
+class FaultInjectedError(ReproError):
+    """A fault scheduled by :mod:`repro.faults` fired inside a component.
+
+    Raised at the point of injection (a flash die, a PCIe link, a fabric
+    slot) so the surrounding layer can surface it through its native error
+    channel — an NVMe status code, a dropped frame, a failed RPC.
+    """
+
+
+class DegradedError(ReproError):
+    """An operation completed only partially, or a component is running in
+    a degraded mode (e.g. all replicas of a key are unreachable, or a
+    promotion target tier is down and the segment stayed on flash)."""

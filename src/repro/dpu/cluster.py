@@ -10,15 +10,15 @@ run-to-completion, with no coordinator in the data path.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, DegradedError
 from repro.hw.net import Network
 from repro.hw.nvme import Namespace, NvmeController
 from repro.sim import Simulator
 from repro.storage.kvssd import KvSsd, KvSsdClient, KvSsdService
-from repro.transport import RpcClient, RpcServer, UdpSocket
+from repro.transport import RetryPolicy, RpcClient, RpcError, RpcServer, UdpSocket
 
 
 def _owner_index(key: bytes, count: int) -> int:
@@ -102,3 +102,223 @@ class RoutingClient:
         stub = self._stubs[self.cluster.owner_of(key)]
         yield from stub.delete(key)
         self.ops += 1
+
+
+class ReplicatedDpuKvCluster(DpuKvCluster):
+    """K-way replicated KV cluster that survives dead or degraded DPUs.
+
+    Each key's replica chain is the K DPUs starting at its hash owner
+    (consecutive on the ring). Writes walk the chain head-to-tail; reads
+    are served by any live replica — a client-driven approximation of
+    chain replication that keeps the DPUs dumb and shared-nothing, in the
+    same spirit as the MICA routing above. :meth:`kill` models an abrupt
+    DPU death (its traffic blackholes at the switch) so failover paths can
+    be exercised deterministically.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, dpu_count: int = 4,
+                 replication: int = 2, ssd_blocks: int = 65536):
+        super().__init__(sim, network, dpu_count=dpu_count,
+                         ssd_blocks=ssd_blocks)
+        if not 1 <= replication <= dpu_count:
+            raise ConfigurationError(
+                f"replication factor {replication} needs "
+                f"1..{dpu_count} replicas"
+            )
+        self.replication = replication
+        self.down: Set[str] = set()
+
+    def replicas_of(self, key: bytes) -> List[str]:
+        """The key's replica chain, head (hash owner) first."""
+        start = _owner_index(key, len(self.addresses))
+        return [
+            self.addresses[(start + offset) % len(self.addresses)]
+            for offset in range(self.replication)
+        ]
+
+    def kill(self, index: int) -> str:
+        """Abruptly kill one DPU: all frames to it vanish at the switch."""
+        address = self.addresses[index]
+        self.down.add(address)
+        self.network.switch.blackhole(address)
+        return address
+
+    def revive(self, index: int) -> str:
+        """Bring a killed DPU back (its replica data may be stale)."""
+        address = self.addresses[index]
+        self.down.discard(address)
+        self.network.switch.restore(address)
+        return address
+
+    def live_addresses(self) -> List[str]:
+        return [a for a in self.addresses if a not in self.down]
+
+
+@dataclass
+class FailoverStats:
+    """What a failover client observed: successes, failovers, dead ends."""
+
+    reads: int = 0
+    writes: int = 0
+    failed_ops: int = 0
+    #: Ops that only succeeded on a non-head replica.
+    failovers: int = 0
+    #: Individual replica RPCs that timed out or errored.
+    replica_failures: int = 0
+    marked_down: Set[str] = field(default_factory=set)
+
+
+class FailoverKvClient:
+    """Client-driven failover over a :class:`ReplicatedDpuKvCluster`.
+
+    The client owns the partition map *and* the health map: replicas that
+    time out are marked down and demoted in the read preference order;
+    :meth:`probe` (or a background :meth:`probe_all` sweep) marks them up
+    again. Every RPC carries a timeout, bounded retries with exponential
+    backoff + jitter, and an overall deadline, so a dead DPU costs a few
+    retransmit intervals — never a hung simulation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        cluster: ReplicatedDpuKvCluster,
+        timeout: float = 1.5e-3,
+        retries: int = 1,
+        deadline: float = 50e-3,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.rpc = RpcClient(sim, UdpSocket(sim, network.endpoint(name)))
+        self.timeout = timeout
+        self.retries = retries
+        self.deadline = deadline
+        self.policy = policy if policy is not None else RetryPolicy(
+            base=timeout, multiplier=2.0, max_interval=max(timeout * 8, timeout),
+            jitter=0.1,
+        )
+        self.health: Dict[str, bool] = {
+            address: True for address in cluster.addresses
+        }
+        self.stats = FailoverStats()
+
+    # -- internals -----------------------------------------------------------
+    def _call(self, address: str, method: str, *args,
+              request_size: int = 64, response_size: int = 64):
+        result = yield from self.rpc.call(
+            address, method, *args,
+            request_size=request_size, response_size=response_size,
+            timeout=self.timeout, retries=self.retries,
+            deadline=self.deadline, policy=self.policy,
+        )
+        return result
+
+    def _ordered_replicas(self, key: bytes) -> List[str]:
+        """The replica chain, healthy members first (stable order)."""
+        chain = self.cluster.replicas_of(key)
+        return (
+            [a for a in chain if self.health[a]]
+            + [a for a in chain if not self.health[a]]
+        )
+
+    def _mark_down(self, address: str) -> None:
+        self.health[address] = False
+        self.stats.marked_down.add(address)
+        self.stats.replica_failures += 1
+
+    # -- health probing ------------------------------------------------------
+    def probe(self, address: str):
+        """Process: one health probe; updates the health map."""
+        try:
+            yield from self.rpc.call(
+                address, "kv.ping", request_size=16, response_size=16,
+                timeout=self.timeout, retries=0, deadline=self.timeout * 2,
+            )
+        except RpcError:
+            self._mark_down(address)
+            return False
+        self.health[address] = True
+        return True
+
+    def probe_all(self):
+        """Process: sweep every DPU once (run periodically by the owner)."""
+        alive = 0
+        for address in self.cluster.addresses:
+            ok = yield from self.probe(address)
+            alive += 1 if ok else 0
+        return alive
+
+    # -- the KV surface ------------------------------------------------------
+    def put(self, key: bytes, value: bytes):
+        """Process: write the replica chain head-to-tail; one ack suffices
+        for availability (skipped replicas are marked down for repair)."""
+        key, value = bytes(key), bytes(value)
+        acked = 0
+        last_error: Optional[RpcError] = None
+        for position, address in enumerate(self.cluster.replicas_of(key)):
+            try:
+                yield from self._call(
+                    address, "kv.put", key, value,
+                    request_size=32 + len(key) + len(value), response_size=16,
+                )
+            except RpcError as error:
+                self._mark_down(address)
+                last_error = error
+                continue
+            self.health[address] = True
+            acked += 1
+            if position > 0 and acked == 1:
+                self.stats.failovers += 1
+        if acked == 0:
+            self.stats.failed_ops += 1
+            raise DegradedError(f"put {key!r}: no replica reachable ({last_error})")
+        self.stats.writes += 1
+        return acked
+
+    def get(self, key: bytes, expected_value_size: int = 128):
+        """Process: read from the first live replica, failing over down
+        the chain when the preferred one is dead."""
+        key = bytes(key)
+        last_error: Optional[RpcError] = None
+        head = self.cluster.replicas_of(key)[0]
+        for address in self._ordered_replicas(key):
+            try:
+                value = yield from self._call(
+                    address, "kv.get", key,
+                    request_size=32 + len(key),
+                    response_size=expected_value_size,
+                )
+            except RpcError as error:
+                self._mark_down(address)
+                last_error = error
+                continue
+            self.health[address] = True
+            if address != head:
+                self.stats.failovers += 1
+            self.stats.reads += 1
+            return value
+        self.stats.failed_ops += 1
+        raise DegradedError(f"get {key!r}: no replica reachable ({last_error})")
+
+    def delete(self, key: bytes):
+        """Process: chain-wide delete (same walk as put)."""
+        key = bytes(key)
+        acked = 0
+        for address in self.cluster.replicas_of(key):
+            try:
+                yield from self._call(
+                    address, "kv.delete", key,
+                    request_size=32 + len(key), response_size=16,
+                )
+            except RpcError:
+                self._mark_down(address)
+                continue
+            acked += 1
+        if acked == 0:
+            self.stats.failed_ops += 1
+            raise DegradedError(f"delete {key!r}: no replica reachable")
+        self.stats.writes += 1
+        return acked

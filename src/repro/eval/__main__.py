@@ -13,6 +13,7 @@ import sys
 from typing import Callable, Dict, Tuple
 
 from repro.eval.analytics import format_analytics, run_analytics
+from repro.eval.chaos import format_chaos, run_chaos
 from repro.eval.compiler import format_compiler, run_compiler
 from repro.eval.corfu import format_corfu, run_corfu
 from repro.eval.efficiency import format_efficiency, run_efficiency
@@ -57,6 +58,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
             lambda: format_recovery(run_recovery())),
     "e12": ("E12: KV-SSD transports",
             lambda: format_kvssd(run_kvssd())),
+    "e13": ("E13: chaos storm + replicated failover",
+            lambda: format_chaos(run_chaos())),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
             lambda: format_p2pdma(run_p2pdma())),
 }

@@ -1,0 +1,254 @@
+"""E13: chaos evaluation — the replicated KV cluster under a fault storm.
+
+The paper's blueprint claims a CPU-free device can "boot, recover, and
+serve without a host" (§2.1) and sketches multi-DPU applications (§2.4);
+this experiment makes the recovery story measurable. A scripted
+:class:`~repro.faults.FaultPlan` kills one DPU mid-run, drops frames on the
+client's uplink, and injects an uncorrectable flash read, while a
+:class:`~repro.dpu.FailoverKvClient` keeps issuing operations against a
+K-way replicated cluster. Reported: request availability, p99 latency
+inflation versus a fault-free run, failed vs retried ops, and the
+client-observed recovery time after the kill.
+
+Expected shape: with replication factor 2 and one DPU dead, availability
+stays >= 99% (every key keeps one live replica; the first op against the
+dead head pays retransmits, then the health map routes around it), p99
+inflates by the retry/backoff cost, and the same seed reproduces a
+byte-identical fault schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import DegradedError
+from repro.dpu.cluster import FailoverKvClient, ReplicatedDpuKvCluster
+from repro.eval.report import Table
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.hw.net import Network
+from repro.sim import Simulator
+
+
+@dataclass
+class OpOutcome:
+    """One client operation under the storm."""
+
+    started: float
+    finished: float
+    ok: bool
+    retried: bool
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass
+class ChaosReport:
+    """What E13 measured for one (seed, storm) configuration."""
+
+    seed: int
+    dpu_count: int
+    replication: int
+    ops_attempted: int
+    ops_succeeded: int
+    ops_failed: int
+    ops_retried: int
+    failovers: int
+    availability: float
+    p50_latency: float
+    p99_latency: float
+    clean_p99_latency: float
+    p99_inflation: float
+    kill_time: Optional[float]
+    recovery_time: Optional[float]
+    faults_injected: int
+    schedule: bytes
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _key(index: int) -> bytes:
+    return f"chaos:key:{index:04d}".encode()
+
+
+def _run_storm(
+    seed: int,
+    plan: FaultPlan,
+    dpu_count: int,
+    replication: int,
+    ops: int,
+    preload: int,
+    victim: Optional[int],
+):
+    """One full run: preload, storm, workload. Returns measurement state."""
+    sim = Simulator()
+    network = Network(sim)
+    cluster = ReplicatedDpuKvCluster(
+        sim, network, dpu_count=dpu_count, replication=replication,
+        ssd_blocks=16384,
+    )
+    injector = FaultInjector(sim, plan)
+    # Wire the storm into the substrates: NVMe controllers + flash consult
+    # per-device component ids; the client uplink consults "client.uplink".
+    for device in cluster.devices:
+        device.controller.attach_faults(injector)
+    client = FailoverKvClient(sim, network, "chaos-client", cluster)
+    network.port("chaos-client").route().attach_faults(injector, "client.uplink")
+
+    outcomes: List[OpOutcome] = []
+    done = [False]
+    kill_observed = [None]
+    preload_end = [0.0]
+
+    def controller():
+        # The chaos controller: maps NODE_DOWN windows onto switch
+        # blackholes, the way a pulled power cable maps onto dead links.
+        while not done[0]:
+            yield sim.timeout(0.5e-3)
+            for index, address in enumerate(cluster.addresses):
+                down = injector.active(address, FaultKind.NODE_DOWN)
+                if down and address not in cluster.down:
+                    cluster.kill(index)
+                    if kill_observed[0] is None:
+                        kill_observed[0] = sim.now
+                elif not down and address in cluster.down:
+                    cluster.revive(index)
+
+    def workload():
+        value = b"v" * 64
+        for index in range(preload):
+            yield from client.put(_key(index), value)
+        preload_end[0] = sim.now
+        for index in range(ops):
+            key = _key(index % preload)
+            started = sim.now
+            retransmits_before = client.rpc.retransmits
+            failures_before = client.stats.replica_failures
+            try:
+                if index % 2 == 0:
+                    yield from client.get(key)
+                else:
+                    yield from client.put(key, value)
+                ok = True
+            except DegradedError:
+                ok = False
+            outcomes.append(
+                OpOutcome(
+                    started, sim.now, ok,
+                    retried=(
+                        client.rpc.retransmits > retransmits_before
+                        or client.stats.replica_failures > failures_before
+                    ),
+                )
+            )
+        done[0] = True
+
+    sim.process(controller())
+    sim.run_process(workload())
+    return cluster, client, injector, outcomes, kill_observed[0], preload_end[0]
+
+
+def build_storm_plan(seed: int, kill_at: float, horizon: float = 10.0,
+                     victim: str = "kv-dpu-1") -> FaultPlan:
+    """The scripted E13 storm: a dead DPU, a lossy uplink, a bad read."""
+    plan = FaultPlan(seed=seed)
+    plan.windowed("dpu-outage", victim, FaultKind.NODE_DOWN, kill_at, horizon)
+    plan.probabilistic(
+        "lossy-uplink", "client.uplink", FaultKind.FRAME_DROP,
+        probability=0.005, max_fires=8,
+    )
+    plan.once(
+        "bad-read", "kv-dpu-0-flash.flash", FaultKind.READ_ERROR, at=kill_at / 2
+    )
+    return plan
+
+
+def run_chaos(
+    seed: int = 7,
+    dpu_count: int = 3,
+    replication: int = 2,
+    ops: int = 240,
+    preload: int = 48,
+    kill_at: Optional[float] = None,
+) -> ChaosReport:
+    victim_index = 1
+    victim = f"kv-dpu-{victim_index}"
+    # Fault-free twin run: the latency baseline the storm inflates, and the
+    # timing reference for the kill (30% into the measured workload phase,
+    # safely past the preload — a kill during preload would skew recovery).
+    __, __, __, clean_outcomes, __, clean_preload_end = _run_storm(
+        seed, FaultPlan(seed=seed), dpu_count, replication, ops, preload, None
+    )
+    clean_p99 = _percentile([o.latency for o in clean_outcomes], 0.99)
+    if kill_at is None:
+        clean_end = max(o.finished for o in clean_outcomes)
+        kill_at = clean_preload_end + 0.3 * (clean_end - clean_preload_end)
+
+    plan = build_storm_plan(seed, kill_at, victim=victim)
+    cluster, client, injector, outcomes, kill_time, __ = _run_storm(
+        seed, plan, dpu_count, replication, ops, preload, victim_index
+    )
+
+    succeeded = [o for o in outcomes if o.ok]
+    latencies = [o.latency for o in outcomes]
+    p99 = _percentile(latencies, 0.99)
+    recovery_time = None
+    if kill_time is not None:
+        post_kill = [o.finished for o in succeeded if o.finished >= kill_time]
+        if post_kill:
+            recovery_time = min(post_kill) - kill_time
+    return ChaosReport(
+        seed=seed,
+        dpu_count=dpu_count,
+        replication=replication,
+        ops_attempted=len(outcomes),
+        ops_succeeded=len(succeeded),
+        ops_failed=len(outcomes) - len(succeeded),
+        ops_retried=sum(1 for o in outcomes if o.retried),
+        failovers=client.stats.failovers,
+        availability=len(succeeded) / len(outcomes) if outcomes else 0.0,
+        p50_latency=_percentile(latencies, 0.50),
+        p99_latency=p99,
+        clean_p99_latency=clean_p99,
+        p99_inflation=p99 / clean_p99 if clean_p99 else 0.0,
+        kill_time=kill_time,
+        recovery_time=recovery_time,
+        faults_injected=len(injector.log),
+        schedule=injector.schedule_bytes(),
+    )
+
+
+def format_chaos(report: ChaosReport) -> str:
+    table = Table(
+        "E13: chaos storm over the replicated KV cluster "
+        f"(RF={report.replication}, {report.dpu_count} DPUs, "
+        f"seed={report.seed})",
+        ["metric", "value"],
+    )
+    table.add_row("ops attempted", report.ops_attempted)
+    table.add_row("ops succeeded", report.ops_succeeded)
+    table.add_row("ops failed", report.ops_failed)
+    table.add_row("ops retried", report.ops_retried)
+    table.add_row("replica failovers", report.failovers)
+    table.add_row("availability", f"{report.availability * 100:.2f}%")
+    table.add_row("p50 latency", f"{report.p50_latency * 1e6:.1f} us")
+    table.add_row("p99 latency", f"{report.p99_latency * 1e6:.1f} us")
+    table.add_row("fault-free p99", f"{report.clean_p99_latency * 1e6:.1f} us")
+    table.add_row("p99 inflation", f"{report.p99_inflation:.1f}x")
+    kill = "-" if report.kill_time is None else f"{report.kill_time * 1e3:.1f} ms"
+    table.add_row("DPU killed at", kill)
+    recovery = (
+        "-" if report.recovery_time is None
+        else f"{report.recovery_time * 1e3:.2f} ms"
+    )
+    table.add_row("recovery time (first success after kill)", recovery)
+    table.add_row("faults injected", report.faults_injected)
+    return table.render()

@@ -56,10 +56,19 @@ class ReconfigurableSlot:
     loaded: Optional[Bitstream] = None
     tenant: Optional[str] = None
     load_count: int = 0
+    seu_count: int = 0
 
     @property
     def occupied(self) -> bool:
         return self.loaded is not None
+
+    def take_seu(self) -> None:
+        """A single-event upset flipped configuration bits in this slot.
+
+        The slot keeps "running" (possibly corrupt) until the configuration
+        scrubber rewrites it through the ICAP; we only count the hit here.
+        """
+        self.seu_count += 1
 
     def can_host(self, bitstream: Bitstream) -> bool:
         return bitstream.resources.fits_within(self.budget)

@@ -12,11 +12,13 @@ squarely in the paper's 10-100 ms band.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.common.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultKind
 from repro.sim import Resource, Simulator
 from repro.hw.fpga.bitstream import Bitstream
-from repro.hw.fpga.fabric import ReconfigurableSlot
+from repro.hw.fpga.fabric import Fabric, ReconfigurableSlot
 
 #: ICAPE3 on UltraScale+: 32-bit wide at 200 MHz -> 0.8 GB/s.
 ICAP_BANDWIDTH = 0.8e9
@@ -48,6 +50,7 @@ class Icap:
         self.setup_latency = setup_latency
         self._port = Resource(sim, capacity=1)
         self.history: List[ReconfigurationRecord] = []
+        self.scrubs = 0
 
     def reconfiguration_latency(self, bitstream: Bitstream) -> float:
         """Pure configuration time for one bitstream (no queueing)."""
@@ -81,3 +84,66 @@ class Icap:
         finally:
             self._port.release()
         return self.sim.now - requested_at
+
+    def scrub(self, slot: ReconfigurableSlot):
+        """Process: repair an SEU-hit slot by rewriting its own bitstream.
+
+        This is a full partial reconfiguration of the same image through the
+        same serialized port, so it costs exactly the ICAP latency model —
+        the recovery the paper's "self-hosting" claim needs with no CPU to
+        reprogram the device.
+        """
+        if not slot.occupied:
+            raise ConfigurationError(f"slot {slot.index} is empty; nothing to scrub")
+        bitstream, tenant = slot.loaded, slot.tenant
+        latency = yield from self.load(slot, bitstream, tenant)
+        self.scrubs += 1
+        return latency
+
+
+class ConfigScrubber:
+    """Polls for injected SEUs and repairs hit slots through the ICAP.
+
+    Consults component id ``<component>.slot<i>`` with :data:`FaultKind.SEU`
+    for each occupied slot. The loop ends once the plan has no pending SEU
+    specs, so a finished fault plan never keeps the simulation alive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        icap: Icap,
+        injector: FaultInjector,
+        component: str = "fabric",
+        poll_interval: float = 1e-3,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.icap = icap
+        self.injector = injector
+        self.component = component
+        self.poll_interval = poll_interval
+        #: (slot index, repair completion time, scrub latency) per repair.
+        self.repairs: List[Tuple[int, float, float]] = []
+        sim.process(self._run())
+
+    def _slot_component(self, slot: ReconfigurableSlot) -> str:
+        return f"{self.component}.slot{slot.index}"
+
+    def _pending(self) -> bool:
+        return any(
+            self.injector.pending(self._slot_component(slot), FaultKind.SEU)
+            for slot in self.fabric.slots
+        )
+
+    def _run(self):
+        while self._pending():
+            yield self.sim.timeout(self.poll_interval)
+            for slot in self.fabric.slots:
+                if not slot.occupied:
+                    continue
+                if self.injector.fires(self._slot_component(slot), FaultKind.SEU):
+                    slot.take_seu()
+                    latency = yield from self.icap.scrub(slot)
+                    self.repairs.append((slot.index, self.sim.now, latency))

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.common.units import gbps
+from repro.faults import FaultInjector, FaultKind
 from repro.hw.net.frames import Frame
 from repro.sim import Resource, Simulator, Store
 
@@ -16,12 +18,36 @@ QSFP28_100G = gbps(100)
 DEFAULT_PROPAGATION = 1e-6
 
 
+@dataclass
+class LinkStats:
+    """Counters for one link's TX side, including every loss cause."""
+
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    frames_corrupted: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def frames_delivered(self) -> int:
+        return self.frames_sent - self.frames_dropped - self.frames_corrupted
+
+    def merge(self, other: "LinkStats") -> "LinkStats":
+        return LinkStats(
+            self.frames_sent + other.frames_sent,
+            self.frames_dropped + other.frames_dropped,
+            self.frames_corrupted + other.frames_corrupted,
+            self.bytes_sent + other.bytes_sent,
+        )
+
+
 class Link:
     """A unidirectional link delivering frames into a receive queue.
 
     The transmitter is a unit-capacity resource, so back-to-back frames
     serialize at line rate; propagation is pipelined (multiple frames can be
-    in flight).
+    in flight). A fault injector attached via :meth:`attach_faults` can drop
+    frames (FRAME_DROP), corrupt them (FRAME_CORRUPT — the receiver's FCS
+    check discards them), or hold the link down for a window (LINK_DOWN).
     """
 
     def __init__(
@@ -30,6 +56,8 @@ class Link:
         bandwidth: float = QSFP28_100G,
         propagation: float = DEFAULT_PROPAGATION,
         loss_fn: Optional[Callable[[Frame], bool]] = None,
+        injector: Optional[FaultInjector] = None,
+        component: str = "link",
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -41,12 +69,41 @@ class Link:
         self.rx_queue: Store = Store(sim)
         self._tx = Resource(sim, capacity=1)
         self._loss_fn = loss_fn
+        self.injector = injector
+        self.component = component
         self.frames_sent = 0
         self.frames_dropped = 0
+        self.frames_corrupted = 0
         self.bytes_sent = 0
+
+    def attach_faults(self, injector: FaultInjector, component: str) -> "Link":
+        """Bind this link to a fault injector under the given component id."""
+        self.injector = injector
+        self.component = component
+        return self
+
+    def stats(self) -> LinkStats:
+        return LinkStats(
+            self.frames_sent,
+            self.frames_dropped,
+            self.frames_corrupted,
+            self.bytes_sent,
+        )
 
     def serialization_delay(self, frame: Frame) -> float:
         return frame.wire_size / self.bandwidth
+
+    def _fault_outcome(self, frame: Frame) -> Optional[str]:
+        """Consult the injector once per transmitted frame."""
+        if self.injector is None:
+            return None
+        if self.injector.active(self.component, FaultKind.LINK_DOWN):
+            return "drop"
+        if self.injector.fires(self.component, FaultKind.FRAME_DROP):
+            return "drop"
+        if self.injector.fires(self.component, FaultKind.FRAME_CORRUPT):
+            return "corrupt"
+        return None
 
     def transmit(self, frame: Frame):
         """Process: serialize the frame, then deliver after propagation."""
@@ -59,6 +116,13 @@ class Link:
         self.bytes_sent += frame.wire_size
         if self._loss_fn is not None and self._loss_fn(frame):
             self.frames_dropped += 1
+            return
+        outcome = self._fault_outcome(frame)
+        if outcome == "drop":
+            self.frames_dropped += 1
+            return
+        if outcome == "corrupt":
+            self.frames_corrupted += 1
             return
         self.sim.process(self._deliver(frame))
 

@@ -2,12 +2,29 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.hw.net.frames import Frame
-from repro.hw.net.link import Link
+from repro.hw.net.link import Link, LinkStats
 from repro.sim import Simulator
+
+
+@dataclass
+class PortStats:
+    """Aggregated TX counters across a port's outgoing links, plus RX."""
+
+    tx: LinkStats
+    frames_received: int = 0
+
+    @property
+    def frames_dropped(self) -> int:
+        return self.tx.frames_dropped
+
+    @property
+    def frames_corrupted(self) -> int:
+        return self.tx.frames_corrupted
 
 
 class NetworkPort:
@@ -28,6 +45,26 @@ class NetworkPort:
 
     def add_route(self, destination: str, link: Link) -> None:
         self._routes[destination] = link
+
+    def route(self, destination: str = "*") -> Link:
+        """The TX link used to reach ``destination`` (fault wiring hook)."""
+        link = self._routes.get(destination) or self._routes.get("*")
+        if link is None:
+            raise ConfigurationError(
+                f"port {self.address} has no route to {destination}"
+            )
+        return link
+
+    def stats(self) -> PortStats:
+        """Port-level view: every TX link's counters merged, plus RX."""
+        tx = LinkStats()
+        for link in dict.fromkeys(self._routes.values()):
+            tx = tx.merge(link.stats())
+        received = (
+            self.rx_link.stats().frames_delivered
+            if self.rx_link is not None else 0
+        )
+        return PortStats(tx=tx, frames_received=received)
 
     def send(self, frame: Frame):
         """Process: transmit a frame toward its destination."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Set
 
 from repro.common.errors import ConfigurationError
 from repro.hw.net.link import DEFAULT_PROPAGATION, QSFP28_100G, Link
@@ -20,10 +20,22 @@ class Switch:
         self.sim = sim
         self.forward_latency = forward_latency
         self._egress: Dict[str, Link] = {}
+        self._blackholed: Set[str] = set()
         self.frames_forwarded = 0
+        self.frames_blackholed = 0
 
     def connect_egress(self, address: str, link: Link) -> None:
         self._egress[address] = link
+
+    def blackhole(self, address: str) -> None:
+        """Silently drop all frames to ``address`` (a dead endpoint)."""
+        self._blackholed.add(address)
+
+    def restore(self, address: str) -> None:
+        self._blackholed.discard(address)
+
+    def is_blackholed(self, address: str) -> bool:
+        return address in self._blackholed
 
     def attach_ingress(self, link: Link) -> None:
         """Start a forwarding process draining the given ingress link."""
@@ -33,6 +45,9 @@ class Switch:
         while True:
             frame = yield ingress.receive()
             yield self.sim.timeout(self.forward_latency)
+            if frame.dst in self._blackholed:
+                self.frames_blackholed += 1
+                continue
             egress = self._egress.get(frame.dst)
             if egress is None:
                 # Unknown destination: drop, as a real switch floods/drops.

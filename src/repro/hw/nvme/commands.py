@@ -23,9 +23,11 @@ class NvmeStatus(enum.Enum):
 
     SUCCESS = 0x0
     INVALID_OPCODE = 0x1
+    COMMAND_ABORTED = 0x07
     LBA_OUT_OF_RANGE = 0x80
     ZONE_FULL = 0xB9
     ZONE_INVALID_WRITE = 0xBC
+    UNRECOVERED_READ_ERROR = 0x281  # media error SCT, injected or real
 
 
 _cid_counter = itertools.count()

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-from repro.common.errors import CapacityError, ProtocolError
+from repro.common.errors import CapacityError, FaultInjectedError, ProtocolError
+from repro.faults import FaultInjector, FaultKind
 from repro.hw.nvme.commands import NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus
 from repro.hw.nvme.flash import FlashArray
 from repro.hw.nvme.namespace import LBA_SIZE, Namespace
@@ -21,6 +22,10 @@ from repro.sim import Event, Simulator, Store
 
 #: Firmware command decode + completion posting overhead.
 CONTROLLER_LATENCY = 2e-6
+
+#: Firmware watchdog: how long a command injected with COMMAND_TIMEOUT
+#: stalls before being aborted with COMMAND_ABORTED status.
+COMMAND_WATCHDOG_LATENCY = 10e-3
 
 AnyNamespace = Union[Namespace, ZonedNamespace]
 
@@ -63,16 +68,33 @@ class NvmeController(PcieDevice):
         flash: Optional[FlashArray] = None,
         link: Optional[PcieLink] = None,
         queue_depth: int = 256,
+        injector: Optional[FaultInjector] = None,
     ):
         super().__init__(name, bars=[Bar(16 * 1024)])
         self.sim = sim
         self.namespaces: Dict[int, AnyNamespace] = namespaces or {}
-        self.flash = flash if flash is not None else FlashArray(sim)
+        self.flash = flash if flash is not None else FlashArray(
+            sim, injector=injector, component=f"{name}.flash"
+        )
         self.link = link
         self.queue_pairs: List[NvmeQueuePair] = []
         self._queue_depth = queue_depth
+        self.injector = injector
         self.commands_executed = 0
+        self.commands_aborted = 0
+        self.media_errors = 0
         self._started = False
+
+    def attach_faults(self, injector: FaultInjector) -> "NvmeController":
+        """Bind the controller (and its flash) to a fault injector.
+
+        The controller consults component id ``<name>`` for COMMAND_TIMEOUT
+        faults; the flash array consults ``<name>.flash`` for READ_ERROR
+        and DIE_STUCK faults.
+        """
+        self.injector = injector
+        self.flash.attach_faults(injector, f"{self.name}.flash")
+        return self
 
     def add_namespace(self, namespace: AnyNamespace) -> None:
         self.namespaces[namespace.namespace_id] = namespace
@@ -102,6 +124,15 @@ class NvmeController(PcieDevice):
     # -- command execution ---------------------------------------------------
     def _execute(self, qp: NvmeQueuePair, command: NvmeCommand):
         yield self.sim.timeout(CONTROLLER_LATENCY)
+        if self.injector is not None and self.injector.fires(
+            self.name, FaultKind.COMMAND_TIMEOUT
+        ):
+            # Firmware hang: the watchdog eventually aborts the command and
+            # posts an error completion instead of silently losing it.
+            yield self.sim.timeout(COMMAND_WATCHDOG_LATENCY)
+            self.commands_aborted += 1
+            qp.complete(NvmeCompletion(command.cid, NvmeStatus.COMMAND_ABORTED))
+            return
         namespace = self.namespaces.get(command.namespace_id)
         if namespace is None:
             qp.complete(NvmeCompletion(command.cid, NvmeStatus.LBA_OUT_OF_RANGE))
@@ -119,6 +150,11 @@ class NvmeController(PcieDevice):
                 completion = yield from self._do_reset(namespace, command)
             else:
                 completion = NvmeCompletion(command.cid, NvmeStatus.INVALID_OPCODE)
+        except FaultInjectedError:
+            self.media_errors += 1
+            completion = NvmeCompletion(
+                command.cid, NvmeStatus.UNRECOVERED_READ_ERROR
+            )
         except (CapacityError, ProtocolError):
             completion = NvmeCompletion(command.cid, NvmeStatus.LBA_OUT_OF_RANGE)
         self.commands_executed += 1

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, FaultInjectedError
+from repro.faults import FaultInjector, FaultKind
 from repro.sim import Resource, Simulator
+
+#: Extra busy time a stuck die serves per operation while a DIE_STUCK fault
+#: window holds it (roughly an in-die retry/recalibration cycle).
+STUCK_BUSY_PENALTY = 2e-3
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,8 @@ class FlashArray:
         channels: int = 8,
         dies_per_channel: int = 4,
         timing: FlashTiming = FlashTiming(),
+        injector: Optional[FaultInjector] = None,
+        component: str = "flash",
     ):
         if channels < 1 or dies_per_channel < 1:
             raise ConfigurationError("need at least one channel and die")
@@ -47,8 +54,26 @@ class FlashArray:
         self._channels: List[Resource] = [
             Resource(sim, capacity=1) for _ in range(channels)
         ]
+        self.injector = injector
+        self.component = component
         self.reads = 0
         self.programs = 0
+        self.read_errors = 0
+        self.stuck_busy_ops = 0
+
+    def attach_faults(self, injector: FaultInjector, component: str) -> "FlashArray":
+        self.injector = injector
+        self.component = component
+        return self
+
+    def _stuck_penalty(self) -> float:
+        """Extra busy time if a DIE_STUCK window currently holds this array."""
+        if self.injector is not None and self.injector.active(
+            self.component, FaultKind.DIE_STUCK
+        ):
+            self.stuck_busy_ops += 1
+            return STUCK_BUSY_PENALTY
+        return 0.0
 
     @property
     def die_count(self) -> int:
@@ -64,13 +89,24 @@ class FlashArray:
         return self.timing.page_size / self.timing.channel_bandwidth
 
     def read_page(self, page_index: int):
-        """Process: one page read (array cell read + channel transfer)."""
+        """Process: one page read (array cell read + channel transfer).
+
+        Raises :class:`FaultInjectedError` when a READ_ERROR fault fires:
+        the cell read completed but ECC could not correct the data.
+        """
         die_index = self._die_for_page(page_index)
         yield self._dies[die_index].request()
         try:
-            yield self.sim.timeout(self.timing.read_latency)
+            yield self.sim.timeout(self.timing.read_latency + self._stuck_penalty())
         finally:
             self._dies[die_index].release()
+        if self.injector is not None and self.injector.fires(
+            self.component, FaultKind.READ_ERROR
+        ):
+            self.read_errors += 1
+            raise FaultInjectedError(
+                f"{self.component}: uncorrectable read at page {page_index}"
+            )
         channel = self._channels[self._channel_for_die(die_index)]
         yield channel.request()
         try:
@@ -90,7 +126,9 @@ class FlashArray:
             channel.release()
         yield self._dies[die_index].request()
         try:
-            yield self.sim.timeout(self.timing.program_latency)
+            yield self.sim.timeout(
+                self.timing.program_latency + self._stuck_penalty()
+            )
             self.programs += 1
         finally:
             self._dies[die_index].release()

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultKind
 from repro.sim import Resource, Simulator
 
 #: Effective per-lane payload bandwidth (bytes/s) after 128b/130b encoding
@@ -18,6 +21,11 @@ TLP_MAX_PAYLOAD = 256
 #: One-way latency through a PCIe link + switch logic.
 PCIE_HOP_LATENCY = 250e-9
 
+#: A transient completion timeout: the requester waits out the completion
+#: timer, then replays the TLP (spec timers are 50 us - 50 ms; we charge
+#: the low end, modeling a single retrained retry).
+COMPLETION_TIMEOUT_PENALTY = 50e-6
+
 
 class PcieLink:
     """A bidirectional PCIe link of ``lanes`` width.
@@ -32,6 +40,8 @@ class PcieLink:
         lanes: int = 4,
         per_lane_bandwidth: float = PCIE_GEN3_PER_LANE,
         hop_latency: float = PCIE_HOP_LATENCY,
+        injector: Optional[FaultInjector] = None,
+        component: str = "pcie-link",
     ):
         if lanes not in (1, 2, 4, 8, 16):
             raise ConfigurationError(f"invalid PCIe lane width: {lanes}")
@@ -40,7 +50,15 @@ class PcieLink:
         self.bandwidth = lanes * per_lane_bandwidth
         self.hop_latency = hop_latency
         self._channel = Resource(sim, capacity=1)
+        self.injector = injector
+        self.component = component
         self.bytes_transferred = 0
+        self.completion_timeouts = 0
+
+    def attach_faults(self, injector: FaultInjector, component: str) -> "PcieLink":
+        self.injector = injector
+        self.component = component
+        return self
 
     def wire_bytes(self, payload_bytes: int) -> int:
         """Payload plus amortized TLP overhead."""
@@ -53,9 +71,19 @@ class PcieLink:
         return self.hop_latency + self.wire_bytes(payload_bytes) / self.bandwidth
 
     def transfer(self, payload_bytes: int):
-        """Process: move ``payload_bytes`` across the link."""
+        """Process: move ``payload_bytes`` across the link.
+
+        A COMPLETION_TIMEOUT fault is transient: the requester waits out
+        the completion timer and replays, so the transfer still succeeds
+        but pays the penalty — visible as tail latency, not data loss.
+        """
         yield self._channel.request()
         try:
+            if self.injector is not None and self.injector.fires(
+                self.component, FaultKind.COMPLETION_TIMEOUT
+            ):
+                self.completion_timeouts += 1
+                yield self.sim.timeout(COMPLETION_TIMEOUT_PENALTY)
             yield self.sim.timeout(self.transfer_latency(payload_bytes))
             self.bytes_transferred += payload_bytes
         finally:

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.errors import CapacityError
+from repro.common.errors import CapacityError, DegradedError
 from repro.hw.fpga.fabric import MemoryBank
-from repro.hw.nvme.commands import NvmeCommand, NvmeOpcode
+from repro.hw.nvme.commands import NvmeCommand, NvmeOpcode, NvmeStatus
 from repro.hw.nvme.controller import NvmeController, NvmeQueuePair
 from repro.hw.nvme.namespace import LBA_SIZE, Namespace
 from repro.sim import Simulator
@@ -71,12 +71,15 @@ class NvmeBackend:
         namespace_id: int = 1,
         base_lba: int = 0,
         block_count: Optional[int] = None,
+        read_retries: int = 2,
     ):
         self.sim = sim
         self.controller = controller
         self.qp = queue_pair
         self.namespace_id = namespace_id
         self.base_lba = base_lba
+        self.read_retries = read_retries
+        self.retried_reads = 0
         namespace = controller.namespaces[namespace_id]
         max_blocks = namespace.capacity_blocks - base_lba
         self.block_count = block_count if block_count is not None else max_blocks
@@ -115,20 +118,36 @@ class NvmeBackend:
 
     # -- timed access --------------------------------------------------------
     def timed_read(self, offset: int, size: int):
+        """Process: one read, retried per the backend's recovery policy.
+
+        Transient media errors (injected UNRECOVERED_READ_ERROR, aborted
+        commands) are retried up to ``read_retries`` times — the in-device
+        read-retry a real FTL performs — before the failure surfaces as a
+        :class:`DegradedError`.
+        """
         if size == 0:
             return b""
         first, count, __ = self._span(offset, size)
-        completion = yield self.qp.submit(
-            NvmeCommand(
-                NvmeOpcode.READ,
-                namespace_id=self.namespace_id,
-                lba=first,
-                block_count=count,
+        retryable = (NvmeStatus.UNRECOVERED_READ_ERROR, NvmeStatus.COMMAND_ABORTED)
+        for attempt in range(self.read_retries + 1):
+            completion = yield self.qp.submit(
+                NvmeCommand(
+                    NvmeOpcode.READ,
+                    namespace_id=self.namespace_id,
+                    lba=first,
+                    block_count=count,
+                )
             )
+            if completion.ok:
+                return self.read(offset, size)
+            if completion.status not in retryable:
+                raise CapacityError(f"NVMe read failed: {completion.status}")
+            if attempt < self.read_retries:
+                self.retried_reads += 1
+        raise DegradedError(
+            f"NVMe read failed after {self.read_retries + 1} attempts: "
+            f"{completion.status}"
         )
-        if not completion.ok:
-            raise CapacityError(f"NVMe read failed: {completion.status}")
-        return self.read(offset, size)
 
     def timed_write(self, offset: int, data: bytes):
         if not data:

@@ -16,9 +16,11 @@ whoever owns the control loop (the OS-shell, a timer process, a test).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.common.errors import CapacityError
 from repro.common.ids import ObjectId
+from repro.faults import FaultInjector, FaultKind
 from repro.memory.segments import Segment, SegmentLocation
 from repro.memory.store import SingleLevelStore
 
@@ -40,6 +42,9 @@ class TieringStats:
     epochs: int = 0
     promotions: int = 0
     demotions: int = 0
+    #: Promotions that fell back to a slower tier (or stayed on flash)
+    #: because the preferred tier's backend was down or full.
+    degraded: int = 0
     decisions: List[TieringDecision] = field(default_factory=list)
 
 
@@ -54,6 +59,8 @@ class TieringPolicy:
         dram_high_watermark: float = 0.9,
         prefer_hbm: bool = False,
         max_moves_per_epoch: int = 16,
+        injector: Optional[FaultInjector] = None,
+        component: str = "tiering",
     ):
         self.store = store
         self.hot_threshold = hot_threshold
@@ -61,6 +68,8 @@ class TieringPolicy:
         self.dram_high_watermark = dram_high_watermark
         self.prefer_hbm = prefer_hbm and store.hbm is not None
         self.max_moves_per_epoch = max_moves_per_epoch
+        self.injector = injector
+        self.component = component
         self.stats = TieringStats()
         self._last_counts: Dict[ObjectId, int] = {}
 
@@ -72,8 +81,26 @@ class TieringPolicy:
         allocator = self.store._allocators[SegmentLocation.DRAM]
         return allocator.bytes_used / allocator.capacity
 
-    def _fast_tier(self) -> SegmentLocation:
-        return SegmentLocation.HBM if self.prefer_hbm else SegmentLocation.DRAM
+    def _tier_up(self, tier: SegmentLocation) -> bool:
+        """Is the backend behind ``tier`` currently serving?
+
+        Consults component id ``<component>.<tier>`` for BACKEND_DOWN
+        windows (e.g. an HBM stack in thermal shutdown).
+        """
+        if self.injector is None:
+            return True
+        return not self.injector.active(
+            f"{self.component}.{tier.value}", FaultKind.BACKEND_DOWN
+        )
+
+    def _fast_tier(self) -> Optional[SegmentLocation]:
+        """The best *available* promotion target, degrading HBM -> DRAM ->
+        stay-on-flash as backends fault out."""
+        preferred = SegmentLocation.HBM if self.prefer_hbm else SegmentLocation.DRAM
+        for tier in dict.fromkeys((preferred, SegmentLocation.DRAM)):
+            if self._tier_up(tier):
+                return tier
+        return None
 
     # -- the policy ------------------------------------------------------------
     def run_epoch(self) -> List[TieringDecision]:
@@ -90,7 +117,21 @@ class TieringPolicy:
             accesses = self._epoch_accesses(segment)
             if accesses >= self.hot_threshold:
                 target = self._fast_tier()
-                self.store.promote(segment.oid, target)
+                if target is None:
+                    # Every fast tier is down: serve from flash this epoch.
+                    self.stats.degraded += 1
+                    continue
+                if target is not (
+                    SegmentLocation.HBM if self.prefer_hbm
+                    else SegmentLocation.DRAM
+                ):
+                    self.stats.degraded += 1
+                try:
+                    self.store.promote(segment.oid, target)
+                except CapacityError:
+                    # Target tier full: stay on flash rather than fail.
+                    self.stats.degraded += 1
+                    continue
                 decisions.append(
                     TieringDecision(segment.oid, SegmentLocation.NVME,
                                     target, accesses)

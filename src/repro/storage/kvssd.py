@@ -197,6 +197,9 @@ class KvSsdService:
         server.register("kv.put", device.put)
         server.register("kv.delete", device.delete)
         server.register("kv.scan", device.scan)
+        # Health probe: answers iff the DPU is alive and reachable, used by
+        # failover clients to steer around dead replicas.
+        server.register("kv.ping", lambda: True)
 
 
 class KvSsdClient:

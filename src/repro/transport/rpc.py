@@ -10,10 +10,11 @@ clients call them over UDP, HOMA, or a TCP adapter — the E12 sweep.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import ConfigurationError, ProtocolError
 from repro.sim import Event, Simulator
 
 _rpc_ids = itertools.count()
@@ -23,6 +24,40 @@ RPC_HEADER = 16
 
 class RpcError(ProtocolError):
     """A remote handler raised, or the method does not exist."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for RPC retransmissions.
+
+    The wait before retransmission ``n`` (0-based) is
+    ``base * multiplier**n`` capped at ``max_interval``, then jittered by
+    ``±jitter`` (a fraction). Jitter draws come from an RNG seeded with
+    ``(seed, rpc id)``, so a run's retransmit schedule is reproducible
+    while concurrent calls still decorrelate — the fix for retry storms
+    the fixed retransmit interval invited.
+    """
+
+    base: float = 1e-3
+    multiplier: float = 2.0
+    max_interval: float = 64e-3
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.multiplier < 1 or self.max_interval < self.base:
+            raise ConfigurationError("invalid retry policy intervals")
+        if not 0 <= self.jitter < 1:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def rng_for(self, rpc_id: int) -> random.Random:
+        return random.Random(f"{self.seed}/{rpc_id}")
+
+    def interval(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.base * self.multiplier ** attempt, self.max_interval)
+        if self.jitter == 0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
 
 
 @dataclass
@@ -126,6 +161,8 @@ class RpcClient:
         self.sim = sim
         self.transport = _DatagramAdapter(socket)
         self._pending: Dict[int, Event] = {}
+        self.retransmits = 0
+        self.deadline_exceeded = 0
         sim.process(self._rx_loop())
 
     def _rx_loop(self):
@@ -145,35 +182,68 @@ class RpcClient:
         response_size: int = 64,
         timeout: Optional[float] = None,
         retries: int = 0,
+        deadline: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
     ):
         """Process: one RPC; returns the handler's result or raises RpcError.
 
         With ``timeout`` set, an unanswered request is retransmitted up to
         ``retries`` times (needed over lossy datagram transports; handlers
-        must be idempotent, as with any at-least-once RPC).
+        must be idempotent, as with any at-least-once RPC). A
+        :class:`RetryPolicy` replaces the fixed retransmit interval with
+        exponential backoff + jitter (``timeout`` then seeds the policy's
+        first interval if the policy leaves ``base`` at its default).
+
+        ``deadline`` bounds the *whole call* in simulated seconds: when the
+        budget runs out — even with ``timeout=None``, which otherwise waits
+        forever on a dead server — the call raises
+        ``RpcError("... deadline exceeded")``.
         """
         request = RpcRequest(next(_rpc_ids), method, args, response_size)
         done = Event(self.sim)
         self._pending[request.rpc_id] = done
+        started = self.sim.now
+        rng = policy.rng_for(request.rpc_id) if policy is not None else None
         attempts = 0
         while True:
             yield from self.transport.sendto(
                 server, request, RPC_HEADER + request_size
             )
-            if timeout is None:
+            if timeout is None and policy is None and deadline is None:
                 response = yield done
                 break
-            outcome = yield self.sim.any_of([done, self.sim.timeout(timeout)])
+            # How long to wait before this attempt is declared lost.
+            if policy is not None:
+                wait = policy.interval(attempts, rng)
+            elif timeout is not None:
+                wait = timeout
+            else:
+                wait = deadline  # no retransmission: just bound the wait
+            if deadline is not None:
+                remaining = deadline - (self.sim.now - started)
+                if remaining <= 0:
+                    self._pending.pop(request.rpc_id, None)
+                    self.deadline_exceeded += 1
+                    raise RpcError(f"{method} to {server}: deadline exceeded")
+                wait = min(wait, remaining)
+            outcome = yield self.sim.any_of([done, self.sim.timeout(wait)])
             if done in outcome:
                 response = done.value
                 break
+            if deadline is not None and self.sim.now - started >= deadline:
+                self._pending.pop(request.rpc_id, None)
+                self.deadline_exceeded += 1
+                raise RpcError(f"{method} to {server}: deadline exceeded")
             attempts += 1
+            if timeout is None and policy is None:
+                continue  # deadline-only calls do not retransmit
             if attempts > retries:
                 self._pending.pop(request.rpc_id, None)
                 raise RpcError(
                     f"{method} to {server} timed out after "
                     f"{attempts} attempt(s)"
                 )
+            self.retransmits += 1
         if not response.ok:
             raise RpcError(response.error)
         return response.result

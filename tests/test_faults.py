@@ -1,0 +1,450 @@
+"""Tests for the unified fault-injection subsystem (repro.faults).
+
+Covers the four contracts ISSUE 1 asks for: deterministic schedules from a
+seed, NVMe read errors recovered by the backend retry policy, replicated
+cluster reads surviving a dead DPU, and SEU repair through the ICAP — plus
+the substrate hooks (links, PCIe, tiering, power) the plans drive.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    DegradedError,
+    PowerLossError,
+)
+from repro.dpu import FailoverKvClient, HyperionDpu, ReplicatedDpuKvCluster
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ManualClock,
+)
+from repro.hw.fpga import Bitstream, ConfigScrubber, Fabric, FabricResources, Icap
+from repro.hw.fpga.fabric import MemoryBank
+from repro.hw.net import Frame, Link, Network
+from repro.hw.nvme import Namespace, NvmeController
+from repro.hw.pcie.link import PcieLink
+from repro.memory import (
+    DramBackend,
+    NvmeBackend,
+    PlacementHint,
+    SegmentLocation,
+    SingleLevelStore,
+)
+from repro.memory.tiering import TieringPolicy
+from repro.sim import Simulator
+
+
+class TestFaultPlan:
+    def test_exactly_one_timing_mode_required(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("f", "c", FaultKind.FRAME_DROP)
+        with pytest.raises(ConfigurationError):
+            FaultSpec("f", "c", FaultKind.FRAME_DROP, at=1.0, probability=0.5)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("f", "c", FaultKind.FRAME_DROP, probability=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec("f", "c", FaultKind.FRAME_DROP, probability=1.5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("f", "c", FaultKind.NODE_DOWN, window=(2.0, 1.0))
+
+    def test_duplicate_names_rejected(self):
+        plan = FaultPlan()
+        plan.once("seu", "slot0", FaultKind.SEU, at=1.0)
+        with pytest.raises(ConfigurationError):
+            plan.once("seu", "slot1", FaultKind.SEU, at=2.0)
+
+    def test_describe_is_stable(self):
+        def build():
+            plan = FaultPlan(seed=3)
+            plan.once("a", "c1", FaultKind.READ_ERROR, at=1e-3)
+            plan.probabilistic("b", "c2", FaultKind.FRAME_DROP, 0.5)
+            return plan
+
+        assert build().describe() == build().describe()
+
+
+def consult_storm(seed):
+    """Drive one plan through a scripted consult sequence; return the log."""
+    plan = FaultPlan(seed=seed)
+    plan.once("bad-read", "ssd.flash", FaultKind.READ_ERROR, at=5e-3)
+    plan.probabilistic("lossy", "uplink", FaultKind.FRAME_DROP, 0.3,
+                       max_fires=10)
+    plan.windowed("outage", "kv-dpu-1", FaultKind.NODE_DOWN, 10e-3, 20e-3)
+    clock = ManualClock()
+    injector = FaultInjector(clock, plan)
+    for _ in range(100):
+        clock.advance(0.5e-3)
+        injector.fires("uplink", FaultKind.FRAME_DROP)
+        injector.fires("ssd.flash", FaultKind.READ_ERROR)
+        injector.active("kv-dpu-1", FaultKind.NODE_DOWN)
+    return injector
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_schedule(self):
+        assert consult_storm(7).schedule_bytes() == consult_storm(7).schedule_bytes()
+
+    def test_different_seed_different_draws(self):
+        assert consult_storm(7).schedule_bytes() != consult_storm(8).schedule_bytes()
+
+    def test_unrelated_spec_does_not_perturb_draws(self):
+        """Per-spec RNGs: adding a spec must not move another's fires."""
+        def lossy_times(extra):
+            plan = FaultPlan(seed=1)
+            plan.probabilistic("lossy", "uplink", FaultKind.FRAME_DROP, 0.3)
+            if extra:
+                plan.probabilistic("noise", "other", FaultKind.FRAME_CORRUPT, 0.9)
+            clock = ManualClock()
+            injector = FaultInjector(clock, plan)
+            for _ in range(50):
+                clock.advance(1e-3)
+                injector.fires("uplink", FaultKind.FRAME_DROP)
+                if extra:
+                    injector.fires("other", FaultKind.FRAME_CORRUPT)
+            return [r.time for r in injector.log if r.name == "lossy"]
+
+        assert lossy_times(extra=False) == lossy_times(extra=True)
+
+    def test_once_fires_exactly_once(self):
+        plan = FaultPlan()
+        plan.once("seu", "slot0", FaultKind.SEU, at=1.0)
+        clock = ManualClock()
+        injector = FaultInjector(clock, plan)
+        assert not injector.fires("slot0", FaultKind.SEU)  # before `at`
+        clock.advance(2.0)
+        assert injector.fires("slot0", FaultKind.SEU)
+        assert not injector.fires("slot0", FaultKind.SEU)
+        assert injector.fired("seu") == 1
+        assert not injector.pending("slot0", FaultKind.SEU)
+
+    def test_window_active_semantics(self):
+        plan = FaultPlan()
+        plan.windowed("outage", "dpu", FaultKind.NODE_DOWN, 1.0, 2.0)
+        clock = ManualClock()
+        injector = FaultInjector(clock, plan)
+        assert not injector.active("dpu", FaultKind.NODE_DOWN)
+        clock.advance(1.5)
+        assert injector.active("dpu", FaultKind.NODE_DOWN)
+        assert injector.active("dpu", FaultKind.NODE_DOWN)
+        assert len(injector.log) == 1  # only the falling edge is logged
+        clock.advance(1.0)
+        assert not injector.active("dpu", FaultKind.NODE_DOWN)
+        assert not injector.pending("dpu", FaultKind.NODE_DOWN)
+
+    def test_max_fires_bounds_probabilistic_spec(self):
+        plan = FaultPlan()
+        plan.probabilistic("drops", "link", FaultKind.FRAME_DROP, 1.0,
+                           max_fires=3)
+        clock = ManualClock()
+        injector = FaultInjector(clock, plan)
+        fired = sum(
+            injector.fires("link", FaultKind.FRAME_DROP) for _ in range(10)
+        )
+        assert fired == 3
+        assert not injector.pending("link", FaultKind.FRAME_DROP)
+
+
+class TestLinkFaults:
+    def test_injected_drop_counted_in_stats(self):
+        sim = Simulator()
+        plan = FaultPlan()
+        plan.probabilistic("drops", "uplink", FaultKind.FRAME_DROP, 1.0,
+                           max_fires=1)
+        link = Link(sim).attach_faults(FaultInjector(sim, plan), "uplink")
+
+        def scenario():
+            yield from link.transmit(Frame("a", "b", None, 100))
+            yield from link.transmit(Frame("a", "b", None, 100))
+
+        sim.run_process(scenario())
+        stats = link.stats()
+        assert stats.frames_sent == 2
+        assert stats.frames_dropped == 1
+        assert stats.frames_delivered == 1
+
+    def test_corruption_discards_frame(self):
+        sim = Simulator()
+        plan = FaultPlan()
+        plan.probabilistic("emi", "uplink", FaultKind.FRAME_CORRUPT, 1.0,
+                           max_fires=1)
+        link = Link(sim).attach_faults(FaultInjector(sim, plan), "uplink")
+        sim.run_process(link.transmit(Frame("a", "b", None, 100)))
+        assert link.stats().frames_corrupted == 1
+        assert len(link.rx_queue) == 0
+
+    def test_link_down_window_flaps(self):
+        sim = Simulator()
+        plan = FaultPlan()
+        plan.windowed("flap", "uplink", FaultKind.LINK_DOWN, 0.0, 1e-3)
+        link = Link(sim, propagation=0).attach_faults(
+            FaultInjector(sim, plan), "uplink"
+        )
+
+        def scenario():
+            yield from link.transmit(Frame("a", "b", "lost", 100))
+            yield sim.timeout(2e-3)  # window closes; link back up
+            yield from link.transmit(Frame("a", "b", "ok", 100))
+            got = yield link.receive()
+            return got.payload
+
+        assert sim.run_process(scenario()) == "ok"
+        assert link.stats().frames_dropped == 1
+
+
+def faulty_nvme(plan, blocks=64, read_retries=2):
+    sim = Simulator()
+    controller = NvmeController(sim, "ssd")
+    controller.add_namespace(Namespace(1, blocks))
+    qp = controller.create_queue_pair()
+    controller.start()
+    controller.attach_faults(FaultInjector(sim, plan))
+    backend = NvmeBackend(sim, controller, qp, read_retries=read_retries)
+    return sim, controller, backend
+
+
+class TestNvmeReadRetry:
+    def test_injected_read_error_is_retried(self):
+        """One uncorrectable read surfaces as UNRECOVERED_READ_ERROR and the
+        backend's FTL-style retry recovers the data transparently."""
+        plan = FaultPlan(seed=2)
+        plan.once("bad-read", "ssd.flash", FaultKind.READ_ERROR, at=0.0)
+        sim, controller, backend = faulty_nvme(plan)
+        backend.write(0, b"survives the media error")
+
+        def scenario():
+            data = yield from backend.timed_read(0, 24)
+            return data
+
+        assert sim.run_process(scenario()) == b"survives the media error"
+        assert backend.retried_reads == 1
+        assert controller.media_errors == 1
+
+    def test_persistent_errors_exhaust_retries(self):
+        plan = FaultPlan(seed=2)
+        plan.probabilistic("dead-media", "ssd.flash", FaultKind.READ_ERROR, 1.0)
+        sim, __, backend = faulty_nvme(plan, read_retries=1)
+        backend.write(0, b"unreachable")
+
+        def scenario():
+            yield from backend.timed_read(0, 8)
+
+        with pytest.raises(DegradedError, match="after 2 attempts"):
+            sim.run_process(scenario())
+
+    def test_command_timeout_aborts_after_watchdog(self):
+        plan = FaultPlan(seed=2)
+        plan.once("hung-cmd", "ssd", FaultKind.COMMAND_TIMEOUT, at=0.0)
+        sim, controller, backend = faulty_nvme(plan)
+        backend.write(0, b"eventually")
+
+        def scenario():
+            data = yield from backend.timed_read(0, 10)
+            return data, sim.now
+
+        data, elapsed = sim.run_process(scenario())
+        assert data == b"eventually"  # retried after the abort
+        assert controller.commands_aborted == 1
+        assert elapsed >= 10e-3  # the watchdog latency was paid
+
+
+class TestPcieFaults:
+    def test_completion_timeout_pays_replay_penalty(self):
+        sim = Simulator()
+        plan = FaultPlan()
+        plan.once("cto", "pcie0", FaultKind.COMPLETION_TIMEOUT, at=0.0)
+        link = PcieLink(sim).attach_faults(FaultInjector(sim, plan), "pcie0")
+
+        def transfer():
+            yield from link.transfer(4096)
+            return sim.now
+
+        with_fault = sim.run_process(transfer())
+        clean_sim = Simulator()
+        clean_link = PcieLink(clean_sim)
+
+        def clean_transfer():
+            yield from clean_link.transfer(4096)
+            return clean_sim.now
+
+        clean = clean_sim.run_process(clean_transfer())
+        assert link.completion_timeouts == 1
+        assert with_fault == pytest.approx(clean + 50e-6)
+
+
+class TestClusterFailover:
+    def test_reads_survive_one_dead_dpu(self):
+        """RF=2: with one DPU blackholed, every key keeps a live replica and
+        reads keep succeeding via client-driven failover."""
+        sim = Simulator()
+        network = Network(sim)
+        cluster = ReplicatedDpuKvCluster(
+            sim, network, dpu_count=3, replication=2, ssd_blocks=16384
+        )
+        client = FailoverKvClient(sim, network, "client", cluster)
+        keys = [f"k{i}".encode() for i in range(12)]
+
+        def scenario():
+            for key in keys:
+                yield from client.put(key, b"v" * 32)
+            cluster.kill(1)
+            values = []
+            for key in keys:
+                value = yield from client.get(key)
+                values.append(value)
+            return values
+
+        values = sim.run_process(scenario())
+        assert all(value == b"v" * 32 for value in values)
+        assert client.stats.failed_ops == 0
+        # Some keys are headed by the dead DPU; those reads failed over.
+        assert client.stats.failovers >= 1
+        assert "kv-dpu-1" in client.stats.marked_down
+
+    def test_revive_and_probe_restores_health(self):
+        sim = Simulator()
+        network = Network(sim)
+        cluster = ReplicatedDpuKvCluster(
+            sim, network, dpu_count=3, replication=2, ssd_blocks=16384
+        )
+        client = FailoverKvClient(sim, network, "client", cluster)
+
+        def scenario():
+            cluster.kill(1)
+            yield from client.probe("kv-dpu-1")
+            down = client.health["kv-dpu-1"]
+            cluster.revive(1)
+            yield from client.probe("kv-dpu-1")
+            return down, client.health["kv-dpu-1"]
+
+        down, up = sim.run_process(scenario())
+        assert down is False
+        assert up is True
+
+    def test_replica_chain_is_consecutive(self):
+        sim = Simulator()
+        cluster = ReplicatedDpuKvCluster(
+            sim, Network(sim), dpu_count=4, replication=3, ssd_blocks=16384
+        )
+        chain = cluster.replicas_of(b"some-key")
+        assert len(chain) == 3
+        assert len(set(chain)) == 3
+        start = cluster.addresses.index(chain[0])
+        expected = [
+            cluster.addresses[(start + i) % 4] for i in range(3)
+        ]
+        assert chain == expected
+
+
+class TestSeuScrub:
+    def test_seu_triggers_slot_reconfiguration(self):
+        """An injected SEU is repaired by rewriting the slot's bitstream,
+        within the ICAP latency model (plus one scrubber poll)."""
+        sim = Simulator()
+        fabric = Fabric()
+        icap = Icap(sim)
+        bitstream = Bitstream(
+            "accel", FabricResources(luts=1000), size_bytes=1 * 1024 * 1024
+        )
+        slot = fabric.slots[0]
+        sim.run_process(icap.load(slot, bitstream, tenant="t0"))
+        loaded_at = sim.now
+
+        hit_at = loaded_at + 5e-3
+        plan = FaultPlan(seed=4)
+        plan.once("seu-0", "fabric.slot0", FaultKind.SEU, at=hit_at)
+        injector = FaultInjector(sim, plan)
+        scrubber = ConfigScrubber(
+            sim, fabric, icap, injector, poll_interval=1e-3
+        )
+        sim.run()  # drains once the plan has no pending SEU specs
+
+        assert icap.scrubs == 1
+        assert slot.seu_count == 1
+        assert slot.occupied and slot.loaded is bitstream
+        (index, completed_at, latency), = scrubber.repairs
+        assert index == 0
+        assert latency == pytest.approx(
+            icap.reconfiguration_latency(bitstream)
+        )
+        # Detection within one poll, repair within the ICAP model.
+        assert completed_at - hit_at <= 1e-3 + latency + 1e-9
+
+    def test_fault_free_plan_never_wedges_the_sim(self):
+        sim = Simulator()
+        fabric = Fabric()
+        icap = Icap(sim)
+        ConfigScrubber(sim, fabric, icap, FaultInjector(sim, FaultPlan()))
+        sim.run()  # returns immediately: nothing pending
+        assert icap.scrubs == 0
+
+
+class TestPowerLossMonitor:
+    def test_injected_power_loss_trips_with_twin(self):
+        sim = Simulator()
+        dpu = HyperionDpu(sim, Network(sim), ssd_blocks=4096)
+        sim.run_process(dpu.boot())
+        plan = FaultPlan(seed=5)
+        plan.once("blackout", "hyperion", FaultKind.POWER_LOSS,
+                  at=sim.now + 5e-3)
+        injector = FaultInjector(sim, plan)
+
+        with pytest.raises(PowerLossError) as excinfo:
+            sim.run_process(dpu.monitor_power(injector, poll_interval=1e-3))
+        assert dpu.power_failed
+        assert dpu.power_failed_at == pytest.approx(sim.now)
+        assert not excinfo.value.twin.booted  # cold spare, ready to re-boot
+
+
+class TestTieringDegradation:
+    def make_policy(self, plan):
+        sim = Simulator()
+        dram = DramBackend(
+            sim, MemoryBank("ddr4-0", 1 << 16, 19.2e9, 80e-9), 1 << 16
+        )
+        controller = NvmeController(sim, "tier-ssd")
+        controller.add_namespace(Namespace(1, 4096))
+        qp = controller.create_queue_pair()
+        controller.start()
+        store = SingleLevelStore(sim, dram, NvmeBackend(sim, controller, qp))
+        injector = FaultInjector(sim, plan)
+        return sim, store, TieringPolicy(
+            store, hot_threshold=5, injector=injector
+        )
+
+    def test_promotion_skipped_while_dram_down(self):
+        plan = FaultPlan()
+        plan.windowed("brownout", "tiering.dram", FaultKind.BACKEND_DOWN,
+                      0.0, 10.0)
+        sim, store, policy = self.make_policy(plan)
+        seg = store.allocate(64, hint=PlacementHint.COLD)
+        store.write(seg.oid, b"x" * 64)
+        for _ in range(10):
+            store.read(seg.oid, 8)
+        decisions = policy.run_epoch()
+        assert decisions == []
+        assert policy.stats.degraded == 1
+        assert store.table.lookup(seg.oid).location is SegmentLocation.NVME
+
+    def test_promotion_resumes_after_window(self):
+        plan = FaultPlan()
+        plan.windowed("brownout", "tiering.dram", FaultKind.BACKEND_DOWN,
+                      0.0, 1e-9)
+        sim, store, policy = self.make_policy(plan)
+        sim.run_process(self.advance(sim, 1e-3))
+        seg = store.allocate(64, hint=PlacementHint.COLD)
+        store.write(seg.oid, b"x" * 64)
+        for _ in range(10):
+            store.read(seg.oid, 8)
+        policy.run_epoch()
+        assert store.table.lookup(seg.oid).location is SegmentLocation.DRAM
+
+    @staticmethod
+    def advance(sim, delta):
+        yield sim.timeout(delta)

@@ -83,6 +83,23 @@ class TestLink:
         with pytest.raises(ValueError):
             Link(Simulator(), propagation=-1)
 
+    def test_stats_expose_drops(self):
+        sim = Simulator()
+        drops = [True, False]
+        link = Link(sim, loss_fn=lambda f: drops.pop(0))
+
+        def scenario():
+            yield from link.transmit(Frame("a", "b", None, 100))
+            yield from link.transmit(Frame("a", "b", None, 100))
+
+        sim.run_process(scenario())
+        stats = link.stats()
+        assert stats.frames_sent == 2
+        assert stats.frames_dropped == 1
+        assert stats.frames_corrupted == 0
+        assert stats.frames_delivered == 1
+        assert stats.bytes_sent == 2 * 138
+
 
 class TestNetwork:
     def test_two_endpoints_roundtrip(self):
@@ -131,3 +148,24 @@ class TestNetwork:
         near = Network(sim, propagation=1e-6)
         far = Network(sim, propagation=100e-6)
         assert far.min_rtt(64, 64) > near.min_rtt(64, 64)
+
+    def test_port_stats_aggregate_tx_and_rx(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.endpoint("a")
+        b = net.endpoint("b")
+
+        def sender():
+            yield from a.send(Frame("a", "b", "one", 64))
+            yield from a.send(Frame("a", "b", "two", 64))
+
+        def receiver():
+            yield b.receive()
+            yield b.receive()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert a.stats().tx.frames_sent == 2
+        assert a.stats().frames_dropped == 0
+        assert b.stats().frames_received == 2

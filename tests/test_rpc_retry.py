@@ -5,7 +5,7 @@ import pytest
 from repro.hw.net.link import Link
 from repro.hw.net.port import NetworkPort
 from repro.sim import Simulator
-from repro.transport import RpcClient, RpcError, RpcServer, UdpSocket
+from repro.transport import RetryPolicy, RpcClient, RpcError, RpcServer, UdpSocket
 
 
 def lossy_rpc_pair(sim, loss_fn):
@@ -105,3 +105,96 @@ class TestRetry:
         result, elapsed = sim.run_process(scenario())
         assert result == "fast"
         assert elapsed < 1e-3  # no timeout fired
+
+
+class TestDeadline:
+    def test_deadline_bounds_a_call_with_no_timeout(self):
+        """Without a deadline this call would wait forever (see above);
+        the deadline turns it into a bounded failure."""
+        sim = Simulator()
+        server, client = lossy_rpc_pair(sim, lambda f: True)  # black hole
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            yield from client.call("server", "echo", 1, deadline=5e-3)
+
+        with pytest.raises(RpcError, match="deadline exceeded"):
+            sim.run_process(scenario())
+        assert sim.now == pytest.approx(5e-3, rel=0.01)
+        assert client.deadline_exceeded == 1
+        assert client.retransmits == 0  # deadline-only calls never resend
+
+    def test_deadline_cuts_retries_short(self):
+        sim = Simulator()
+        server, client = lossy_rpc_pair(sim, lambda f: True)
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            yield from client.call(
+                "server", "echo", 1, timeout=1e-3, retries=100, deadline=3.5e-3
+            )
+
+        with pytest.raises(RpcError, match="deadline exceeded"):
+            sim.run_process(scenario())
+        assert sim.now == pytest.approx(3.5e-3, rel=0.01)
+        assert client.retransmits >= 2  # a few attempts fit the budget
+
+    def test_deadline_does_not_affect_fast_success(self):
+        sim = Simulator()
+        server, client = lossy_rpc_pair(sim, None)
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            result = yield from client.call(
+                "server", "echo", "ok", timeout=1e-3, retries=2, deadline=50e-3
+            )
+            return result
+
+        assert sim.run_process(scenario()) == "ok"
+        assert client.deadline_exceeded == 0
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base=1e-3, multiplier=2.0, max_interval=4e-3,
+                             jitter=0.0)
+        rng = policy.rng_for(0)
+        intervals = [policy.interval(n, rng) for n in range(5)]
+        assert intervals == [1e-3, 2e-3, 4e-3, 4e-3, 4e-3]
+
+    def test_jitter_is_bounded_and_reproducible(self):
+        policy = RetryPolicy(base=1e-3, jitter=0.25, seed=11)
+        rng_a, rng_b = policy.rng_for(42), policy.rng_for(42)
+        a = [policy.interval(0, rng_a) for _ in range(8)]
+        b = [policy.interval(0, rng_b) for _ in range(8)]
+        assert a == b  # same (seed, rpc id) -> same schedule
+        assert len(set(a)) > 1  # but genuinely jittered
+        assert all(0.75e-3 <= x <= 1.25e-3 for x in a)
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(Exception):
+            RetryPolicy(base=0)
+        with pytest.raises(Exception):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_recovers_lost_request(self):
+        sim = Simulator()
+        drops = [True, True, False]  # two lost, third delivered
+
+        def loss(frame):
+            return drops.pop(0) if drops else False
+
+        server, client = lossy_rpc_pair(sim, loss)
+        server.register("echo", lambda x: x)
+        policy = RetryPolicy(base=1e-3, jitter=0.1, seed=3)
+
+        def scenario():
+            result = yield from client.call(
+                "server", "echo", 9, retries=5, policy=policy
+            )
+            return result, sim.now
+
+        result, elapsed = sim.run_process(scenario())
+        assert result == 9
+        # Two backoff waits were paid: ~base + ~2*base, jittered.
+        assert elapsed > 2.5e-3
