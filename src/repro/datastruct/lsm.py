@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import bisect
 import struct
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ProtocolError
+from repro.telemetry import MetricScope
 
 _TOMBSTONE = b"\x00__tombstone__"
 _MAGIC = b"SSTB"
@@ -81,13 +81,46 @@ class SsTable:
         return cls(entries)
 
 
-@dataclass
 class LsmStats:
-    """Counters for flushes, compactions, and compacted bytes."""
+    """Counters for flushes, compactions, and compacted bytes.
 
-    flushes: int = 0
-    compactions: int = 0
-    bytes_compacted: int = 0
+    A facade over telemetry counters. The LSM tree itself is a pure data
+    structure with no simulator, so by default the counters live in a
+    private standalone registry; an owner (e.g. a KV-SSD) can pass a scope
+    from its central registry instead.
+    """
+
+    def __init__(self, metrics: Optional[MetricScope] = None):
+        self._metrics = (
+            metrics if metrics is not None else MetricScope.standalone("lsm")
+        )
+        self._flushes = self._metrics.counter("flushes")
+        self._compactions = self._metrics.counter("compactions")
+        self._bytes_compacted = self._metrics.counter("bytes_compacted")
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes.value
+
+    @flushes.setter
+    def flushes(self, value: int) -> None:
+        self._flushes._set(value)
+
+    @property
+    def compactions(self) -> int:
+        return self._compactions.value
+
+    @compactions.setter
+    def compactions(self, value: int) -> None:
+        self._compactions._set(value)
+
+    @property
+    def bytes_compacted(self) -> int:
+        return self._bytes_compacted.value
+
+    @bytes_compacted.setter
+    def bytes_compacted(self, value: int) -> None:
+        self._bytes_compacted._set(value)
 
 
 class LsmTree:
@@ -98,7 +131,12 @@ class LsmTree:
     compaction workload §2.4 proposes pushing into the DPU.
     """
 
-    def __init__(self, memtable_limit: int = 64, l0_limit: int = 4):
+    def __init__(
+        self,
+        memtable_limit: int = 64,
+        l0_limit: int = 4,
+        metrics: Optional[MetricScope] = None,
+    ):
         if memtable_limit < 1 or l0_limit < 1:
             raise ProtocolError("limits must be positive")
         self.memtable_limit = memtable_limit
@@ -106,7 +144,7 @@ class LsmTree:
         self._memtable: Dict[bytes, bytes] = {}
         self.l0: List[SsTable] = []  # newest first
         self.l1: Optional[SsTable] = None
-        self.stats = LsmStats()
+        self.stats = LsmStats(metrics)
 
     def __len__(self) -> int:
         return sum(1 for __ in self.items())

@@ -10,10 +10,11 @@ run-to-completion, with no coordinator in the data path.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.common.errors import ConfigurationError, DegradedError
+from repro.telemetry import MetricScope
 from repro.hw.net import Network
 from repro.hw.nvme import Namespace, NvmeController
 from repro.sim import Simulator
@@ -28,7 +29,11 @@ def _owner_index(key: bytes, count: int) -> int:
 
 @dataclass
 class ClusterStats:
-    """Aggregate and per-DPU operation counts for a cluster."""
+    """Aggregate and per-DPU operation counts for a cluster.
+
+    A read-through snapshot assembled from each device's registry-backed
+    ``gets``/``puts`` counters at :meth:`DpuKvCluster.stats` time.
+    """
 
     routed_ops: int = 0
     per_dpu_ops: Optional[Dict[str, int]] = None
@@ -85,23 +90,28 @@ class RoutingClient:
         self._stubs: Dict[str, KvSsdClient] = {
             address: KvSsdClient(rpc, address) for address in cluster.addresses
         }
-        self.ops = 0
+        self._metrics = sim.telemetry.unique_scope(f"dpu.client.{name}")
+        self._ops = self._metrics.counter("ops")
+
+    @property
+    def ops(self) -> int:
+        return self._ops.value
 
     def put(self, key: bytes, value: bytes):
         stub = self._stubs[self.cluster.owner_of(key)]
         yield from stub.put(key, value)
-        self.ops += 1
+        self._ops.inc()
 
     def get(self, key: bytes):
         stub = self._stubs[self.cluster.owner_of(key)]
         value = yield from stub.get(key)
-        self.ops += 1
+        self._ops.inc()
         return value
 
     def delete(self, key: bytes):
         stub = self._stubs[self.cluster.owner_of(key)]
         yield from stub.delete(key)
-        self.ops += 1
+        self._ops.inc()
 
 
 class ReplicatedDpuKvCluster(DpuKvCluster):
@@ -154,18 +164,83 @@ class ReplicatedDpuKvCluster(DpuKvCluster):
         return [a for a in self.addresses if a not in self.down]
 
 
-@dataclass
 class FailoverStats:
-    """What a failover client observed: successes, failovers, dead ends."""
+    """What a failover client observed: successes, failovers, dead ends.
 
-    reads: int = 0
-    writes: int = 0
-    failed_ops: int = 0
-    #: Ops that only succeeded on a non-head replica.
-    failovers: int = 0
-    #: Individual replica RPCs that timed out or errored.
-    replica_failures: int = 0
-    marked_down: Set[str] = field(default_factory=set)
+    A facade over telemetry counters; ``marked_down`` stays a plain set of
+    addresses (its size is mirrored into a gauge).
+    """
+
+    def __init__(self, metrics: Optional[MetricScope] = None):
+        self._metrics = (
+            metrics if metrics is not None
+            else MetricScope.standalone("dpu.failover")
+        )
+        self._reads = self._metrics.counter("reads")
+        self._writes = self._metrics.counter("writes")
+        self._failed_ops = self._metrics.counter("failed_ops")
+        # Ops that only succeeded on a non-head replica.
+        self._failovers = self._metrics.counter("failovers")
+        # Individual replica RPCs that timed out or errored.
+        self._replica_failures = self._metrics.counter("replica_failures")
+        self._marked_down_gauge = self._metrics.gauge("marked_down")
+        self.marked_down: Set[str] = _MarkedDownSet(self._marked_down_gauge)
+
+    @property
+    def reads(self) -> int:
+        return self._reads.value
+
+    @reads.setter
+    def reads(self, value: int) -> None:
+        self._reads._set(value)
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self._writes._set(value)
+
+    @property
+    def failed_ops(self) -> int:
+        return self._failed_ops.value
+
+    @failed_ops.setter
+    def failed_ops(self, value: int) -> None:
+        self._failed_ops._set(value)
+
+    @property
+    def failovers(self) -> int:
+        return self._failovers.value
+
+    @failovers.setter
+    def failovers(self, value: int) -> None:
+        self._failovers._set(value)
+
+    @property
+    def replica_failures(self) -> int:
+        return self._replica_failures.value
+
+    @replica_failures.setter
+    def replica_failures(self, value: int) -> None:
+        self._replica_failures._set(value)
+
+
+class _MarkedDownSet(set):
+    """A set that mirrors its size into a telemetry gauge."""
+
+    def __init__(self, gauge):
+        super().__init__()
+        self._gauge = gauge
+
+    def add(self, item) -> None:
+        super().add(item)
+        self._gauge.set(len(self))
+
+    def discard(self, item) -> None:
+        super().discard(item)
+        self._gauge.set(len(self))
 
 
 class FailoverKvClient:
@@ -203,7 +278,9 @@ class FailoverKvClient:
         self.health: Dict[str, bool] = {
             address: True for address in cluster.addresses
         }
-        self.stats = FailoverStats()
+        self.stats = FailoverStats(
+            sim.telemetry.unique_scope(f"dpu.failover.{name}")
+        )
 
     # -- internals -----------------------------------------------------------
     def _call(self, address: str, method: str, *args,

@@ -69,8 +69,12 @@ class HyperionDpu:
             raise ConfigurationError("Hyperion needs at least one SSD")
         self.sim = sim
         self.address = address
-        # -- fabric + reconfiguration
-        self.fabric = Fabric(num_slots=num_slots)
+        # -- fabric + reconfiguration (slot counters land in the sim's
+        # central registry rather than a standalone one)
+        self.fabric = Fabric(
+            num_slots=num_slots,
+            metrics=sim.telemetry.unique_scope(f"{address}.fpga"),
+        )
         self.icap = Icap(sim)
         # -- network: 2x QSFP28, modeled as two endpoints on the fabric
         self.port0: NetworkPort = network.endpoint(address)
@@ -157,7 +161,10 @@ class HyperionDpu:
         """
         twin = object.__new__(HyperionDpu)
         twin.__dict__.update(self.__dict__)
-        twin.fabric = Fabric(num_slots=len(self.fabric.slots))
+        twin.fabric = Fabric(
+            num_slots=len(self.fabric.slots),
+            metrics=self.sim.telemetry.unique_scope(f"{self.address}.fpga"),
+        )
         twin.icap = Icap(self.sim)
         twin.root_complex = RootComplex(name=f"{self.address}-root-recovered")
         for i, ssd in enumerate(self.ssds):

@@ -27,6 +27,7 @@ from repro.eval.reconfig import format_reconfig, run_reconfig
 from repro.eval.recovery import format_recovery, run_recovery
 from repro.eval.p2pdma import format_p2pdma, run_p2pdma
 from repro.eval.table1 import run_table1
+from repro.eval.telemetry import format_telemetry, run_telemetry
 from repro.eval.translation import format_translation, run_translation
 
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
@@ -62,6 +63,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
             lambda: format_chaos(run_chaos())),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
             lambda: format_p2pdma(run_p2pdma())),
+    "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",
+                  lambda: format_telemetry(run_telemetry())),
 }
 
 

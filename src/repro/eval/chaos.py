@@ -28,6 +28,7 @@ from repro.eval.report import Table
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.hw.net import Network
 from repro.sim import Simulator
+from repro.telemetry import percentile
 
 
 @dataclass
@@ -65,14 +66,8 @@ class ChaosReport:
     recovery_time: Optional[float]
     faults_injected: int
     schedule: bytes
-
-
-def _percentile(samples: List[float], fraction: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-    return ordered[index]
+    #: Canonical registry snapshot of the storm run — same seed, same bytes.
+    telemetry: bytes = b""
 
 
 def _key(index: int) -> bytes:
@@ -104,6 +99,7 @@ def _run_storm(
     network.port("chaos-client").route().attach_faults(injector, "client.uplink")
 
     outcomes: List[OpOutcome] = []
+    op_latency = sim.telemetry.histogram("eval.chaos.op_latency")
     done = [False]
     kill_observed = [None]
     preload_end = [0.0]
@@ -149,11 +145,15 @@ def _run_storm(
                     ),
                 )
             )
+            op_latency.observe(sim.now - started)
         done[0] = True
 
     sim.process(controller())
     sim.run_process(workload())
-    return cluster, client, injector, outcomes, kill_observed[0], preload_end[0]
+    return (
+        sim, cluster, client, injector, outcomes,
+        kill_observed[0], preload_end[0],
+    )
 
 
 def build_storm_plan(seed: int, kill_at: float, horizon: float = 10.0,
@@ -184,22 +184,22 @@ def run_chaos(
     # Fault-free twin run: the latency baseline the storm inflates, and the
     # timing reference for the kill (30% into the measured workload phase,
     # safely past the preload — a kill during preload would skew recovery).
-    __, __, __, clean_outcomes, __, clean_preload_end = _run_storm(
+    __, __, __, __, clean_outcomes, __, clean_preload_end = _run_storm(
         seed, FaultPlan(seed=seed), dpu_count, replication, ops, preload, None
     )
-    clean_p99 = _percentile([o.latency for o in clean_outcomes], 0.99)
+    clean_p99 = percentile([o.latency for o in clean_outcomes], 0.99)
     if kill_at is None:
         clean_end = max(o.finished for o in clean_outcomes)
         kill_at = clean_preload_end + 0.3 * (clean_end - clean_preload_end)
 
     plan = build_storm_plan(seed, kill_at, victim=victim)
-    cluster, client, injector, outcomes, kill_time, __ = _run_storm(
+    sim, cluster, client, injector, outcomes, kill_time, __ = _run_storm(
         seed, plan, dpu_count, replication, ops, preload, victim_index
     )
 
     succeeded = [o for o in outcomes if o.ok]
     latencies = [o.latency for o in outcomes]
-    p99 = _percentile(latencies, 0.99)
+    p99 = percentile(latencies, 0.99)
     recovery_time = None
     if kill_time is not None:
         post_kill = [o.finished for o in succeeded if o.finished >= kill_time]
@@ -215,7 +215,7 @@ def run_chaos(
         ops_retried=sum(1 for o in outcomes if o.retried),
         failovers=client.stats.failovers,
         availability=len(succeeded) / len(outcomes) if outcomes else 0.0,
-        p50_latency=_percentile(latencies, 0.50),
+        p50_latency=percentile(latencies, 0.50),
         p99_latency=p99,
         clean_p99_latency=clean_p99,
         p99_inflation=p99 / clean_p99 if clean_p99 else 0.0,
@@ -223,6 +223,7 @@ def run_chaos(
         recovery_time=recovery_time,
         faults_injected=len(injector.log),
         schedule=injector.schedule_bytes(),
+        telemetry=sim.telemetry.snapshot_bytes(),
     )
 
 

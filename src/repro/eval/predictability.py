@@ -13,7 +13,6 @@ TDP ratio x the time ratio.
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass
 from typing import List
 
@@ -26,6 +25,7 @@ from repro.eval.report import Table
 from repro.hdl.engine import HardwarePipeline, compile_program
 from repro.power.energy import HYPERION_POWER, total_tdp
 from repro.sim import Simulator
+from repro.telemetry import Histogram
 
 
 @dataclass
@@ -46,10 +46,17 @@ class PredictabilityResult:
         return self.p99 / self.p50 if self.p50 else float("inf")
 
 
-def _percentile(samples: List[float], fraction: float) -> float:
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
+def _result(system: str, hist: Histogram, watts: float) -> PredictabilityResult:
+    """Distill one substrate's latency histogram into a result row."""
+    return PredictabilityResult(
+        system=system,
+        runs=hist.count,
+        mean_latency=hist.mean,
+        stddev_latency=hist.pstdev,
+        p50=hist.quantile(0.50),
+        p99=hist.quantile(0.99),
+        energy_per_op_j=watts * hist.sum / hist.count,
+    )
 
 
 def run_predictability(runs: int = 1000) -> List[PredictabilityResult]:
@@ -62,48 +69,32 @@ def run_predictability(runs: int = 1000) -> List[PredictabilityResult]:
         sim, compile_program(program),
         maps={BAN_MAP_FD: HashMap(8, 8, 65536)},
     )
-    hw_samples: List[float] = []
+    hw_hist = sim.telemetry.histogram("eval.predictability.hw_latency")
 
     def hw_scenario():
         for _ in range(runs):
             start = sim.now
             yield from pipeline.execute(context)
-            hw_samples.append(sim.now - start)
+            hw_hist.observe(sim.now - start)
 
     sim.run_process(hw_scenario())
-    hw_time = sum(hw_samples)
-    hw = PredictabilityResult(
-        system="hyperion-pipeline",
-        runs=runs,
-        mean_latency=statistics.mean(hw_samples),
-        stddev_latency=statistics.pstdev(hw_samples),
-        p50=_percentile(hw_samples, 0.50),
-        p99=_percentile(hw_samples, 0.99),
-        energy_per_op_j=total_tdp(HYPERION_POWER) * hw_time / runs,
-    )
+    hw = _result("hyperion-pipeline", hw_hist, total_tdp(HYPERION_POWER))
 
     # -- CPU interpreter ------------------------------------------------------
     sim = Simulator()
     cpu = CpuModel(sim)
     vm = BpfVm(program, maps={BAN_MAP_FD: HashMap(8, 8, 65536)})
-    cpu_samples: List[float] = []
+    cpu_hist = sim.telemetry.histogram("eval.predictability.cpu_latency")
 
     def cpu_scenario():
         for _ in range(runs):
             start = sim.now
             yield from cpu.execute_ebpf(vm, context)
-            cpu_samples.append(sim.now - start)
+            cpu_hist.observe(sim.now - start)
 
     sim.run_process(cpu_scenario())
-    cpu_time = sum(cpu_samples)
-    cpu_result = PredictabilityResult(
-        system="cpu-interpreter",
-        runs=runs,
-        mean_latency=statistics.mean(cpu_samples),
-        stddev_latency=statistics.pstdev(cpu_samples),
-        p50=_percentile(cpu_samples, 0.50),
-        p99=_percentile(cpu_samples, 0.99),
-        energy_per_op_j=SUPERMICRO_X12.max_tdp_watts * cpu_time / runs,
+    cpu_result = _result(
+        "cpu-interpreter", cpu_hist, SUPERMICRO_X12.max_tdp_watts
     )
     return [hw, cpu_result]
 

@@ -1,33 +1,11 @@
-"""Clock sources for the fault injector.
+"""Backwards-compatibility shim: the clocks moved to :mod:`repro.sim.clock`.
 
 Faults are scheduled strictly against *simulated* time — never the wall
-clock — so every fault storm is reproducible. Any object exposing a ``now``
-attribute works as a clock; :class:`repro.sim.Simulator` already does.
-:class:`ManualClock` exists for unit tests that want to step time by hand.
+clock — so every fault storm is reproducible. The clock classes now live
+beside the simulator they adapt; import them from ``repro.sim`` (or keep
+importing from here, which re-exports them unchanged).
 """
 
-from __future__ import annotations
+from repro.sim.clock import ManualClock, SimClock
 
-
-class ManualClock:
-    """A hand-advanced clock for testing fault plans without a simulator."""
-
-    def __init__(self, now: float = 0.0):
-        self.now = now
-
-    def advance(self, delta: float) -> float:
-        if delta < 0:
-            raise ValueError("clock cannot run backwards")
-        self.now += delta
-        return self.now
-
-
-class SimClock:
-    """Adapter exposing a simulator's current time as a read-only clock."""
-
-    def __init__(self, sim) -> None:
-        self._sim = sim
-
-    @property
-    def now(self) -> float:
-        return self._sim.now
+__all__ = ["ManualClock", "SimClock"]

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolError
 from repro.formats.columnar import RecordBatch, Schema
+from repro.telemetry import MetricScope
 
 MAGIC = b"HPQ1"
 
@@ -162,13 +163,46 @@ def read_footer(raw: bytes) -> ParquetFooter:
     return ParquetFooter(schema=schema, row_groups=groups)
 
 
-@dataclass
 class ReadStats:
-    """I/O accounting: what projection + pushdown actually saved."""
+    """I/O accounting: what projection + pushdown actually saved.
 
-    bytes_read: int = 0
-    chunks_read: int = 0
-    row_groups_skipped: int = 0
+    A facade over telemetry counters. Readers usually construct one
+    standalone (private registry); a DPU pipeline can pass a scope from
+    its simulator's central registry instead.
+    """
+
+    def __init__(self, metrics: Optional[MetricScope] = None):
+        self._metrics = (
+            metrics if metrics is not None
+            else MetricScope.standalone("formats.read")
+        )
+        self._bytes_read = self._metrics.counter("bytes_read")
+        self._chunks_read = self._metrics.counter("chunks_read")
+        self._row_groups_skipped = self._metrics.counter("row_groups_skipped")
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_read.value
+
+    @bytes_read.setter
+    def bytes_read(self, value: int) -> None:
+        self._bytes_read._set(value)
+
+    @property
+    def chunks_read(self) -> int:
+        return self._chunks_read.value
+
+    @chunks_read.setter
+    def chunks_read(self, value: int) -> None:
+        self._chunks_read._set(value)
+
+    @property
+    def row_groups_skipped(self) -> int:
+        return self._row_groups_skipped.value
+
+    @row_groups_skipped.setter
+    def row_groups_skipped(self, value: int) -> None:
+        self._row_groups_skipped._set(value)
 
 
 def read_table(

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.errors import CapacityError, ConfigurationError
 from repro.common.units import GIB
 from repro.hw.fpga.bitstream import Bitstream
 from repro.hw.fpga.resources import ALVEO_U280, FabricResources
+from repro.telemetry import MetricScope
 
 __all__ = [
     "ALVEO_U280",
@@ -55,8 +56,23 @@ class ReconfigurableSlot:
     budget: FabricResources
     loaded: Optional[Bitstream] = None
     tenant: Optional[str] = None
-    load_count: int = 0
-    seu_count: int = 0
+    metrics: Optional[MetricScope] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.metrics is None:
+            self.metrics = MetricScope.standalone(f"fpga.slot{self.index}")
+        self._load_count = self.metrics.counter("load_count")
+        self._seu_count = self.metrics.counter("seu_count")
+
+    @property
+    def load_count(self) -> int:
+        return self._load_count.value
+
+    @property
+    def seu_count(self) -> int:
+        return self._seu_count.value
 
     @property
     def occupied(self) -> bool:
@@ -68,7 +84,7 @@ class ReconfigurableSlot:
         The slot keeps "running" (possibly corrupt) until the configuration
         scrubber rewrites it through the ICAP; we only count the hit here.
         """
-        self.seu_count += 1
+        self._seu_count.inc()
 
     def can_host(self, bitstream: Bitstream) -> bool:
         return bitstream.resources.fits_within(self.budget)
@@ -82,7 +98,7 @@ class ReconfigurableSlot:
             )
         self.loaded = bitstream
         self.tenant = tenant
-        self.load_count += 1
+        self._load_count.inc()
 
     def unload(self) -> Bitstream:
         if not self.occupied:
@@ -105,6 +121,7 @@ class Fabric:
         num_slots: int = 5,
         shell_fraction: float = 0.25,
         memory_banks: Optional[List[MemoryBank]] = None,
+        metrics: Optional[MetricScope] = None,
     ):
         if not 0 < shell_fraction < 1:
             raise ConfigurationError("shell_fraction must be in (0, 1)")
@@ -112,8 +129,17 @@ class Fabric:
             raise ConfigurationError("need at least one slot")
         self.total = total
         self.shell = total.scaled(shell_fraction)
+        # A fabric has no simulator of its own: slot counters live either
+        # under an owner-provided scope (the DPU's central registry) or in
+        # a private standalone one.
+        self.metrics = metrics if metrics is not None else MetricScope.standalone("fpga")
         slot_budget = total.scaled((1.0 - shell_fraction) / num_slots)
-        self.slots = [ReconfigurableSlot(i, slot_budget) for i in range(num_slots)]
+        self.slots = [
+            ReconfigurableSlot(
+                i, slot_budget, metrics=self.metrics.scope(f"slot{i}")
+            )
+            for i in range(num_slots)
+        ]
         self.memory_banks = (
             memory_banks if memory_banks is not None else u280_memory_banks()
         )

@@ -50,7 +50,14 @@ class Icap:
         self.setup_latency = setup_latency
         self._port = Resource(sim, capacity=1)
         self.history: List[ReconfigurationRecord] = []
-        self.scrubs = 0
+        self._metrics = sim.telemetry.unique_scope("fpga.icap")
+        self._loads = self._metrics.counter("loads")
+        self._scrubs = self._metrics.counter("scrubs")
+        self._reconfig_latency = self._metrics.histogram("reconfig_latency")
+
+    @property
+    def scrubs(self) -> int:
+        return self._scrubs.value
 
     def reconfiguration_latency(self, bitstream: Bitstream) -> float:
         """Pure configuration time for one bitstream (no queueing)."""
@@ -68,21 +75,27 @@ class Icap:
         Returns the wall-clock latency experienced (queueing included).
         """
         requested_at = self.sim.now
-        yield self._port.request()
-        try:
-            started_at = self.sim.now
-            if slot.occupied:
-                slot.unload()
-            config_time = self.reconfiguration_latency(bitstream)
-            yield self.sim.timeout(config_time)
-            slot.load(bitstream, tenant)
-            self.history.append(
-                ReconfigurationRecord(
-                    slot.index, bitstream.name, started_at, config_time
+        with self.sim.tracer.span(
+            "fpga.icap.load", "fpga",
+            slot=slot.index, bitstream=bitstream.name,
+        ):
+            yield self._port.request()
+            try:
+                started_at = self.sim.now
+                if slot.occupied:
+                    slot.unload()
+                config_time = self.reconfiguration_latency(bitstream)
+                yield self.sim.timeout(config_time)
+                slot.load(bitstream, tenant)
+                self.history.append(
+                    ReconfigurationRecord(
+                        slot.index, bitstream.name, started_at, config_time
+                    )
                 )
-            )
-        finally:
-            self._port.release()
+            finally:
+                self._port.release()
+        self._loads.inc()
+        self._reconfig_latency.observe(self.sim.now - requested_at)
         return self.sim.now - requested_at
 
     def scrub(self, slot: ReconfigurableSlot):
@@ -97,7 +110,7 @@ class Icap:
             raise ConfigurationError(f"slot {slot.index} is empty; nothing to scrub")
         bitstream, tenant = slot.loaded, slot.tenant
         latency = yield from self.load(slot, bitstream, tenant)
-        self.scrubs += 1
+        self._scrubs.inc()
         return latency
 
 

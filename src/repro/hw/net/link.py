@@ -20,7 +20,12 @@ DEFAULT_PROPAGATION = 1e-6
 
 @dataclass
 class LinkStats:
-    """Counters for one link's TX side, including every loss cause."""
+    """Counters for one link's TX side, including every loss cause.
+
+    A read-through snapshot of the link's registry counters (see
+    ``Link.stats``); kept as a plain dataclass so port-level merging and
+    existing call sites work unchanged.
+    """
 
     frames_sent: int = 0
     frames_dropped: int = 0
@@ -48,6 +53,9 @@ class Link:
     in flight). A fault injector attached via :meth:`attach_faults` can drop
     frames (FRAME_DROP), corrupt them (FRAME_CORRUPT — the receiver's FCS
     check discards them), or hold the link down for a window (LINK_DOWN).
+
+    All counters live in the simulator's telemetry registry under this
+    link's component path (the same id the fault injector consults).
     """
 
     def __init__(
@@ -71,23 +79,46 @@ class Link:
         self._loss_fn = loss_fn
         self.injector = injector
         self.component = component
-        self.frames_sent = 0
-        self.frames_dropped = 0
-        self.frames_corrupted = 0
-        self.bytes_sent = 0
+        self._metrics = sim.telemetry.unique_scope(component)
+        self._frames_sent = self._metrics.counter("frames_sent")
+        self._frames_dropped = self._metrics.counter("frames_dropped")
+        self._frames_corrupted = self._metrics.counter("frames_corrupted")
+        self._bytes_sent = self._metrics.counter("bytes_sent")
 
     def attach_faults(self, injector: FaultInjector, component: str) -> "Link":
-        """Bind this link to a fault injector under the given component id."""
+        """Bind this link to a fault injector under the given component id.
+
+        The link's metrics move to the same path, so the fault schedule
+        and the telemetry snapshot agree on names.
+        """
         self.injector = injector
         self.component = component
+        self._metrics.rename(component)
         return self
+
+    # -- counter views (legacy attribute API) ---------------------------------
+    @property
+    def frames_sent(self) -> int:
+        return self._frames_sent.value
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._frames_dropped.value
+
+    @property
+    def frames_corrupted(self) -> int:
+        return self._frames_corrupted.value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent.value
 
     def stats(self) -> LinkStats:
         return LinkStats(
-            self.frames_sent,
-            self.frames_dropped,
-            self.frames_corrupted,
-            self.bytes_sent,
+            self._frames_sent.value,
+            self._frames_dropped.value,
+            self._frames_corrupted.value,
+            self._bytes_sent.value,
         )
 
     def serialization_delay(self, frame: Frame) -> float:
@@ -107,23 +138,26 @@ class Link:
 
     def transmit(self, frame: Frame):
         """Process: serialize the frame, then deliver after propagation."""
-        yield self._tx.request()
-        try:
-            yield self.sim.timeout(self.serialization_delay(frame))
-        finally:
-            self._tx.release()
-        self.frames_sent += 1
-        self.bytes_sent += frame.wire_size
-        if self._loss_fn is not None and self._loss_fn(frame):
-            self.frames_dropped += 1
-            return
-        outcome = self._fault_outcome(frame)
-        if outcome == "drop":
-            self.frames_dropped += 1
-            return
-        if outcome == "corrupt":
-            self.frames_corrupted += 1
-            return
+        with self.sim.tracer.span(
+            "net.tx", "net", component=self.component, bytes=frame.wire_size
+        ):
+            yield self._tx.request()
+            try:
+                yield self.sim.timeout(self.serialization_delay(frame))
+            finally:
+                self._tx.release()
+            self._frames_sent.inc()
+            self._bytes_sent.inc(frame.wire_size)
+            if self._loss_fn is not None and self._loss_fn(frame):
+                self._frames_dropped.inc()
+                return
+            outcome = self._fault_outcome(frame)
+            if outcome == "drop":
+                self._frames_dropped.inc()
+                return
+            if outcome == "corrupt":
+                self._frames_corrupted.inc()
+                return
         self.sim.process(self._deliver(frame))
 
     def _deliver(self, frame: Frame):

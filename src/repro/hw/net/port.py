@@ -13,7 +13,11 @@ from repro.sim import Simulator
 
 @dataclass
 class PortStats:
-    """Aggregated TX counters across a port's outgoing links, plus RX."""
+    """Aggregated TX counters across a port's outgoing links, plus RX.
+
+    A read-through snapshot: the underlying counts live in the telemetry
+    registry (each TX link's counters plus the port's own RX counter).
+    """
 
     tx: LinkStats
     frames_received: int = 0
@@ -39,6 +43,9 @@ class NetworkPort:
         self.address = address
         self._routes: Dict[str, Link] = {}
         self.rx_link: Optional[Link] = None
+        self._metrics = sim.telemetry.unique_scope(f"net.port.{address}")
+        self._tx_frames = self._metrics.counter("tx_frames")
+        self._rx_frames = self._metrics.counter("rx_frames")
 
     def attach_rx(self, link: Link) -> None:
         self.rx_link = link
@@ -64,6 +71,9 @@ class NetworkPort:
             self.rx_link.stats().frames_delivered
             if self.rx_link is not None else 0
         )
+        # Mirror the derived RX count into the registry so the metric
+        # tree shows it without anyone polling stats().
+        self._rx_frames._set(max(self._rx_frames.value, received))
         return PortStats(tx=tx, frames_received=received)
 
     def send(self, frame: Frame):
@@ -75,6 +85,7 @@ class NetworkPort:
             raise ConfigurationError(
                 f"port {self.address} has no route to {frame.dst}"
             )
+        self._tx_frames.inc()
         yield from link.transmit(frame)
 
     def receive(self):

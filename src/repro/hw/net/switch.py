@@ -21,8 +21,17 @@ class Switch:
         self.forward_latency = forward_latency
         self._egress: Dict[str, Link] = {}
         self._blackholed: Set[str] = set()
-        self.frames_forwarded = 0
-        self.frames_blackholed = 0
+        self._metrics = sim.telemetry.unique_scope("net.switch")
+        self._frames_forwarded = self._metrics.counter("frames_forwarded")
+        self._frames_blackholed = self._metrics.counter("frames_blackholed")
+
+    @property
+    def frames_forwarded(self) -> int:
+        return self._frames_forwarded.value
+
+    @property
+    def frames_blackholed(self) -> int:
+        return self._frames_blackholed.value
 
     def connect_egress(self, address: str, link: Link) -> None:
         self._egress[address] = link
@@ -46,13 +55,13 @@ class Switch:
             frame = yield ingress.receive()
             yield self.sim.timeout(self.forward_latency)
             if frame.dst in self._blackholed:
-                self.frames_blackholed += 1
+                self._frames_blackholed.inc()
                 continue
             egress = self._egress.get(frame.dst)
             if egress is None:
                 # Unknown destination: drop, as a real switch floods/drops.
                 continue
-            self.frames_forwarded += 1
+            self._frames_forwarded.inc()
             self.sim.process(egress.transmit(frame))
 
 
@@ -80,8 +89,14 @@ class Network:
         if address in self._ports:
             return self._ports[address]
         port = NetworkPort(self.sim, address)
-        uplink = Link(self.sim, self.bandwidth, self.propagation)
-        downlink = Link(self.sim, self.bandwidth, self.propagation)
+        uplink = Link(
+            self.sim, self.bandwidth, self.propagation,
+            component=f"net.link.{address}.up",
+        )
+        downlink = Link(
+            self.sim, self.bandwidth, self.propagation,
+            component=f"net.link.{address}.down",
+        )
         port.add_route("*", uplink)
         port.attach_rx(downlink)
         self.switch.attach_ingress(uplink)

@@ -80,9 +80,11 @@ class NvmeController(PcieDevice):
         self.queue_pairs: List[NvmeQueuePair] = []
         self._queue_depth = queue_depth
         self.injector = injector
-        self.commands_executed = 0
-        self.commands_aborted = 0
-        self.media_errors = 0
+        self._metrics = sim.telemetry.unique_scope(name)
+        self._commands_executed = self._metrics.counter("commands_executed")
+        self._commands_aborted = self._metrics.counter("commands_aborted")
+        self._media_errors = self._metrics.counter("media_errors")
+        self._cmd_latency = self._metrics.histogram("cmd_latency")
         self._started = False
 
     def attach_faults(self, injector: FaultInjector) -> "NvmeController":
@@ -95,6 +97,19 @@ class NvmeController(PcieDevice):
         self.injector = injector
         self.flash.attach_faults(injector, f"{self.name}.flash")
         return self
+
+    # -- counter views (legacy attribute API) ------------------------------
+    @property
+    def commands_executed(self) -> int:
+        return self._commands_executed.value
+
+    @property
+    def commands_aborted(self) -> int:
+        return self._commands_aborted.value
+
+    @property
+    def media_errors(self) -> int:
+        return self._media_errors.value
 
     def add_namespace(self, namespace: AnyNamespace) -> None:
         self.namespaces[namespace.namespace_id] = namespace
@@ -123,41 +138,58 @@ class NvmeController(PcieDevice):
 
     # -- command execution ---------------------------------------------------
     def _execute(self, qp: NvmeQueuePair, command: NvmeCommand):
-        yield self.sim.timeout(CONTROLLER_LATENCY)
-        if self.injector is not None and self.injector.fires(
-            self.name, FaultKind.COMMAND_TIMEOUT
-        ):
-            # Firmware hang: the watchdog eventually aborts the command and
-            # posts an error completion instead of silently losing it.
-            yield self.sim.timeout(COMMAND_WATCHDOG_LATENCY)
-            self.commands_aborted += 1
-            qp.complete(NvmeCompletion(command.cid, NvmeStatus.COMMAND_ABORTED))
-            return
-        namespace = self.namespaces.get(command.namespace_id)
-        if namespace is None:
-            qp.complete(NvmeCompletion(command.cid, NvmeStatus.LBA_OUT_OF_RANGE))
-            return
-        try:
-            if command.opcode is NvmeOpcode.READ:
-                completion = yield from self._do_read(namespace, command)
-            elif command.opcode is NvmeOpcode.WRITE:
-                completion = yield from self._do_write(namespace, command)
-            elif command.opcode is NvmeOpcode.FLUSH:
-                completion = NvmeCompletion(command.cid, NvmeStatus.SUCCESS)
-            elif command.opcode is NvmeOpcode.ZONE_APPEND:
-                completion = yield from self._do_append(namespace, command)
-            elif command.opcode is NvmeOpcode.ZONE_RESET:
-                completion = yield from self._do_reset(namespace, command)
-            else:
-                completion = NvmeCompletion(command.cid, NvmeStatus.INVALID_OPCODE)
-        except FaultInjectedError:
-            self.media_errors += 1
-            completion = NvmeCompletion(
-                command.cid, NvmeStatus.UNRECOVERED_READ_ERROR
-            )
-        except (CapacityError, ProtocolError):
-            completion = NvmeCompletion(command.cid, NvmeStatus.LBA_OUT_OF_RANGE)
-        self.commands_executed += 1
+        started = self.sim.now
+        with self.sim.tracer.span(
+            "nvme.cmd", "nvme",
+            device=self.name, opcode=command.opcode.name, lba=command.lba,
+        ) as span:
+            yield self.sim.timeout(CONTROLLER_LATENCY)
+            if self.injector is not None and self.injector.fires(
+                self.name, FaultKind.COMMAND_TIMEOUT
+            ):
+                # Firmware hang: the watchdog eventually aborts the command
+                # and posts an error completion instead of silently losing it.
+                yield self.sim.timeout(COMMAND_WATCHDOG_LATENCY)
+                self._commands_aborted.inc()
+                self._cmd_latency.observe(self.sim.now - started)
+                span.annotate(status="COMMAND_ABORTED")
+                qp.complete(
+                    NvmeCompletion(command.cid, NvmeStatus.COMMAND_ABORTED)
+                )
+                return
+            namespace = self.namespaces.get(command.namespace_id)
+            if namespace is None:
+                qp.complete(
+                    NvmeCompletion(command.cid, NvmeStatus.LBA_OUT_OF_RANGE)
+                )
+                return
+            try:
+                if command.opcode is NvmeOpcode.READ:
+                    completion = yield from self._do_read(namespace, command)
+                elif command.opcode is NvmeOpcode.WRITE:
+                    completion = yield from self._do_write(namespace, command)
+                elif command.opcode is NvmeOpcode.FLUSH:
+                    completion = NvmeCompletion(command.cid, NvmeStatus.SUCCESS)
+                elif command.opcode is NvmeOpcode.ZONE_APPEND:
+                    completion = yield from self._do_append(namespace, command)
+                elif command.opcode is NvmeOpcode.ZONE_RESET:
+                    completion = yield from self._do_reset(namespace, command)
+                else:
+                    completion = NvmeCompletion(
+                        command.cid, NvmeStatus.INVALID_OPCODE
+                    )
+            except FaultInjectedError:
+                self._media_errors.inc()
+                completion = NvmeCompletion(
+                    command.cid, NvmeStatus.UNRECOVERED_READ_ERROR
+                )
+            except (CapacityError, ProtocolError):
+                completion = NvmeCompletion(
+                    command.cid, NvmeStatus.LBA_OUT_OF_RANGE
+                )
+            self._commands_executed.inc()
+            self._cmd_latency.observe(self.sim.now - started)
+            span.annotate(status=completion.status.name)
         qp.complete(completion)
 
     def _dma(self, size_bytes: int):

@@ -56,22 +56,41 @@ class FlashArray:
         ]
         self.injector = injector
         self.component = component
-        self.reads = 0
-        self.programs = 0
-        self.read_errors = 0
-        self.stuck_busy_ops = 0
+        self._metrics = sim.telemetry.unique_scope(component)
+        self._reads = self._metrics.counter("reads")
+        self._programs = self._metrics.counter("programs")
+        self._read_errors = self._metrics.counter("read_errors")
+        self._stuck_busy_ops = self._metrics.counter("stuck_busy_ops")
 
     def attach_faults(self, injector: FaultInjector, component: str) -> "FlashArray":
         self.injector = injector
         self.component = component
+        self._metrics.rename(component)
         return self
+
+    # -- counter views (legacy attribute API) ------------------------------
+    @property
+    def reads(self) -> int:
+        return self._reads.value
+
+    @property
+    def programs(self) -> int:
+        return self._programs.value
+
+    @property
+    def read_errors(self) -> int:
+        return self._read_errors.value
+
+    @property
+    def stuck_busy_ops(self) -> int:
+        return self._stuck_busy_ops.value
 
     def _stuck_penalty(self) -> float:
         """Extra busy time if a DIE_STUCK window currently holds this array."""
         if self.injector is not None and self.injector.active(
             self.component, FaultKind.DIE_STUCK
         ):
-            self.stuck_busy_ops += 1
+            self._stuck_busy_ops.inc()
             return STUCK_BUSY_PENALTY
         return 0.0
 
@@ -103,7 +122,7 @@ class FlashArray:
         if self.injector is not None and self.injector.fires(
             self.component, FaultKind.READ_ERROR
         ):
-            self.read_errors += 1
+            self._read_errors.inc()
             raise FaultInjectedError(
                 f"{self.component}: uncorrectable read at page {page_index}"
             )
@@ -111,7 +130,7 @@ class FlashArray:
         yield channel.request()
         try:
             yield self.sim.timeout(self._transfer_time())
-            self.reads += 1
+            self._reads.inc()
         finally:
             channel.release()
 
@@ -129,7 +148,7 @@ class FlashArray:
             yield self.sim.timeout(
                 self.timing.program_latency + self._stuck_penalty()
             )
-            self.programs += 1
+            self._programs.inc()
         finally:
             self._dies[die_index].release()
 

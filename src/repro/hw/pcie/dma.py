@@ -28,14 +28,20 @@ class DmaEngine:
         self.link = link
         self.setup_latency = setup_latency
         self._channels = Resource(sim, capacity=channels)
-        self.copies_completed = 0
+        self._metrics = sim.telemetry.unique_scope(f"{link.component}.dma")
+        self._copies_completed = self._metrics.counter("copies_completed")
+
+    @property
+    def copies_completed(self) -> int:
+        return self._copies_completed.value
 
     def copy(self, size_bytes: int):
         """Process: one DMA transfer of ``size_bytes`` over the link."""
-        yield self._channels.request()
-        try:
-            yield self.sim.timeout(self.setup_latency)
-            yield from self.link.transfer(size_bytes)
-            self.copies_completed += 1
-        finally:
-            self._channels.release()
+        with self.sim.tracer.span("pcie.dma", "pcie", bytes=size_bytes):
+            yield self._channels.request()
+            try:
+                yield self.sim.timeout(self.setup_latency)
+                yield from self.link.transfer(size_bytes)
+                self._copies_completed.inc()
+            finally:
+                self._channels.release()

@@ -52,13 +52,24 @@ class PcieLink:
         self._channel = Resource(sim, capacity=1)
         self.injector = injector
         self.component = component
-        self.bytes_transferred = 0
-        self.completion_timeouts = 0
+        self._metrics = sim.telemetry.unique_scope(component)
+        self._bytes_transferred = self._metrics.counter("bytes_transferred")
+        self._completion_timeouts = self._metrics.counter("completion_timeouts")
 
     def attach_faults(self, injector: FaultInjector, component: str) -> "PcieLink":
         self.injector = injector
         self.component = component
+        self._metrics.rename(component)
         return self
+
+    # -- counter views (legacy attribute API) ------------------------------
+    @property
+    def bytes_transferred(self) -> int:
+        return self._bytes_transferred.value
+
+    @property
+    def completion_timeouts(self) -> int:
+        return self._completion_timeouts.value
 
     def wire_bytes(self, payload_bytes: int) -> int:
         """Payload plus amortized TLP overhead."""
@@ -77,14 +88,18 @@ class PcieLink:
         the completion timer and replays, so the transfer still succeeds
         but pays the penalty — visible as tail latency, not data loss.
         """
-        yield self._channel.request()
-        try:
-            if self.injector is not None and self.injector.fires(
-                self.component, FaultKind.COMPLETION_TIMEOUT
-            ):
-                self.completion_timeouts += 1
-                yield self.sim.timeout(COMPLETION_TIMEOUT_PENALTY)
-            yield self.sim.timeout(self.transfer_latency(payload_bytes))
-            self.bytes_transferred += payload_bytes
-        finally:
-            self._channel.release()
+        with self.sim.tracer.span(
+            "pcie.transfer", "pcie",
+            component=self.component, bytes=payload_bytes,
+        ):
+            yield self._channel.request()
+            try:
+                if self.injector is not None and self.injector.fires(
+                    self.component, FaultKind.COMPLETION_TIMEOUT
+                ):
+                    self._completion_timeouts.inc()
+                    yield self.sim.timeout(COMPLETION_TIMEOUT_PENALTY)
+                yield self.sim.timeout(self.transfer_latency(payload_bytes))
+                self._bytes_transferred.inc(payload_bytes)
+            finally:
+                self._channel.release()

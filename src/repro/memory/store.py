@@ -11,7 +11,6 @@ loss.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.common.errors import CapacityError, ConfigurationError
@@ -21,6 +20,7 @@ from repro.memory.backends import DramBackend, NvmeBackend
 from repro.memory.segments import PlacementHint, Segment, SegmentLocation
 from repro.memory.table import SegmentTranslationTable
 from repro.sim import Simulator
+from repro.telemetry import MetricScope
 
 #: Bus-address bases of the static AXI range split (paper §2.1).
 DRAM_WINDOW_BASE = 0x0000_0000_0000
@@ -65,14 +65,56 @@ class _Allocator:
         return self._cursor - reclaimed
 
 
-@dataclass
 class StoreStats:
-    """Counters for allocations, promotions, reads, and writes."""
+    """Counters for allocations, promotions, reads, and writes.
 
-    allocations: int = 0
-    promotions: int = 0
-    reads: int = 0
-    writes: int = 0
+    A facade over telemetry counters: each attribute reads through to the
+    registry, and ``stats.reads += 1``-style mutation still works. A
+    standalone instance (no scope given) keeps its counters in a private
+    registry, so tests can construct one in isolation.
+    """
+
+    def __init__(self, metrics: Optional[MetricScope] = None):
+        self._metrics = (
+            metrics if metrics is not None
+            else MetricScope.standalone("memory.store")
+        )
+        self._allocations = self._metrics.counter("allocations")
+        self._promotions = self._metrics.counter("promotions")
+        self._reads = self._metrics.counter("reads")
+        self._writes = self._metrics.counter("writes")
+
+    @property
+    def allocations(self) -> int:
+        return self._allocations.value
+
+    @allocations.setter
+    def allocations(self, value: int) -> None:
+        self._allocations._set(value)
+
+    @property
+    def promotions(self) -> int:
+        return self._promotions.value
+
+    @promotions.setter
+    def promotions(self, value: int) -> None:
+        self._promotions._set(value)
+
+    @property
+    def reads(self) -> int:
+        return self._reads.value
+
+    @reads.setter
+    def reads(self, value: int) -> None:
+        self._reads._set(value)
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self._writes._set(value)
 
 
 class SingleLevelStore:
@@ -91,7 +133,7 @@ class SingleLevelStore:
         self.nvme = nvme
         self.hbm = hbm
         self.table = SegmentTranslationTable()
-        self.stats = StoreStats()
+        self.stats = StoreStats(sim.telemetry.unique_scope("memory.store"))
         self._rng = rng if rng is not None else random.Random(0)
         boot_bytes = BOOT_AREA_BLOCKS * LBA_SIZE
         if nvme.capacity <= boot_bytes:

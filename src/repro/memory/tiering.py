@@ -15,7 +15,7 @@ whoever owns the control loop (the OS-shell, a timer process, a test).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.errors import CapacityError
@@ -23,6 +23,7 @@ from repro.common.ids import ObjectId
 from repro.faults import FaultInjector, FaultKind
 from repro.memory.segments import Segment, SegmentLocation
 from repro.memory.store import SingleLevelStore
+from repro.telemetry import MetricScope
 
 
 @dataclass
@@ -35,17 +36,57 @@ class TieringDecision:
     accesses_in_epoch: int
 
 
-@dataclass
 class TieringStats:
-    """Cumulative promotion/demotion counts across epochs."""
+    """Cumulative promotion/demotion counts across epochs.
 
-    epochs: int = 0
-    promotions: int = 0
-    demotions: int = 0
-    #: Promotions that fell back to a slower tier (or stayed on flash)
-    #: because the preferred tier's backend was down or full.
-    degraded: int = 0
-    decisions: List[TieringDecision] = field(default_factory=list)
+    Counts are a facade over telemetry counters; ``decisions`` stays a
+    plain list (structured records, not a metric).
+    """
+
+    def __init__(self, metrics: Optional[MetricScope] = None):
+        self._metrics = (
+            metrics if metrics is not None
+            else MetricScope.standalone("memory.tiering")
+        )
+        self._epochs = self._metrics.counter("epochs")
+        self._promotions = self._metrics.counter("promotions")
+        self._demotions = self._metrics.counter("demotions")
+        # Promotions that fell back to a slower tier (or stayed on flash)
+        # because the preferred tier's backend was down or full.
+        self._degraded = self._metrics.counter("degraded")
+        self.decisions: List[TieringDecision] = []
+
+    @property
+    def epochs(self) -> int:
+        return self._epochs.value
+
+    @epochs.setter
+    def epochs(self, value: int) -> None:
+        self._epochs._set(value)
+
+    @property
+    def promotions(self) -> int:
+        return self._promotions.value
+
+    @promotions.setter
+    def promotions(self, value: int) -> None:
+        self._promotions._set(value)
+
+    @property
+    def demotions(self) -> int:
+        return self._demotions.value
+
+    @demotions.setter
+    def demotions(self, value: int) -> None:
+        self._demotions._set(value)
+
+    @property
+    def degraded(self) -> int:
+        return self._degraded.value
+
+    @degraded.setter
+    def degraded(self, value: int) -> None:
+        self._degraded._set(value)
 
 
 class TieringPolicy:
@@ -70,7 +111,9 @@ class TieringPolicy:
         self.max_moves_per_epoch = max_moves_per_epoch
         self.injector = injector
         self.component = component
-        self.stats = TieringStats()
+        self.stats = TieringStats(
+            store.sim.telemetry.unique_scope(f"memory.{component}")
+        )
         self._last_counts: Dict[ObjectId, int] = {}
 
     # -- internals -------------------------------------------------------------

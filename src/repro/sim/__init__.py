@@ -6,6 +6,7 @@ yield :class:`Event` objects (timeouts, resource grants, store gets) and are
 resumed when those events fire.
 """
 
+from repro.sim.clock import ManualClock, SimClock
 from repro.sim.engine import (
     AllOf,
     AnyOf,
@@ -27,4 +28,6 @@ __all__ = [
     "AllOf",
     "Resource",
     "Store",
+    "ManualClock",
+    "SimClock",
 ]

@@ -5,6 +5,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
 
 class Interrupt(Exception):
     """Thrown into a process when another process interrupts it."""
@@ -225,6 +228,28 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List = []
         self._eid = 0
+        self._telemetry: Optional[MetricsRegistry] = None
+        self._tracer: Optional[Tracer] = None
+
+    # -- telemetry ---------------------------------------------------------
+    @property
+    def telemetry(self) -> MetricsRegistry:
+        """The metrics registry for everything running on this simulator.
+
+        Lazily created, so a fresh simulator always measures from a
+        clean slate — the root of the same-seed => byte-identical
+        snapshot guarantee.
+        """
+        if self._telemetry is None:
+            self._telemetry = MetricsRegistry()
+        return self._telemetry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The span tracer bound to this simulator's clock (off by default)."""
+        if self._tracer is None:
+            self._tracer = Tracer(self)
+        return self._tracer
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:

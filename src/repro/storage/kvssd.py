@@ -40,12 +40,25 @@ class KvSsd:
         self.namespace_id = namespace_id
         self.qp = controller.create_queue_pair()
         controller.start()
-        self.lsm = LsmTree(memtable_limit=memtable_limit)
+        self._metrics = sim.telemetry.unique_scope(
+            f"kvssd.{controller.name}"
+        )
+        self.lsm = LsmTree(
+            memtable_limit=memtable_limit, metrics=self._metrics.scope("lsm")
+        )
         self._wal_lba = wal_start_lba
         self._sstable_lba = sstable_start_lba
         self._sstable_extents: List[Tuple[int, int]] = []  # (lba, blocks)
-        self.gets = 0
-        self.puts = 0
+        self._gets = self._metrics.counter("gets")
+        self._puts = self._metrics.counter("puts")
+
+    @property
+    def gets(self) -> int:
+        return self._gets.value
+
+    @property
+    def puts(self) -> int:
+        return self._puts.value
 
     # -- device commands (timed processes) ------------------------------------
     def _wal_append(self, key: bytes, value: bytes, tombstone: bool):
@@ -71,26 +84,33 @@ class KvSsd:
 
     def put(self, key: bytes, value: bytes):
         """Process: WAL append + memtable insert; flush spills to flash."""
-        yield self.sim.timeout(KV_REQUEST_PROCESSING)
-        yield from self._wal_append(key, value, tombstone=False)
-        flushes_before = self.lsm.stats.flushes
-        self.lsm.put(key, value)
-        if self.lsm.stats.flushes > flushes_before:
-            yield from self._persist_newest_sstable()
-        self.puts += 1
+        with self.sim.tracer.span(
+            "kv.put", "kvssd", device=self.controller.name,
+        ):
+            yield self.sim.timeout(KV_REQUEST_PROCESSING)
+            yield from self._wal_append(key, value, tombstone=False)
+            flushes_before = self.lsm.stats.flushes
+            self.lsm.put(key, value)
+            if self.lsm.stats.flushes > flushes_before:
+                yield from self._persist_newest_sstable()
+            self._puts.inc()
 
     def get(self, key: bytes):
         """Process: memtable first, then one flash read per run consulted."""
-        yield self.sim.timeout(KV_REQUEST_PROCESSING)
-        runs_consulted = self.lsm.search_cost(key) - 1  # memtable is free
-        for _ in range(max(0, runs_consulted)):
-            yield self.qp.submit(
-                NvmeCommand(
-                    NvmeOpcode.READ, namespace_id=self.namespace_id, lba=0
+        with self.sim.tracer.span(
+            "kv.get", "kvssd", device=self.controller.name,
+        ) as span:
+            yield self.sim.timeout(KV_REQUEST_PROCESSING)
+            runs_consulted = self.lsm.search_cost(key) - 1  # memtable is free
+            span.annotate(runs_consulted=max(0, runs_consulted))
+            for _ in range(max(0, runs_consulted)):
+                yield self.qp.submit(
+                    NvmeCommand(
+                        NvmeOpcode.READ, namespace_id=self.namespace_id, lba=0
+                    )
                 )
-            )
-        self.gets += 1
-        return self.lsm.get(key)
+            self._gets.inc()
+            return self.lsm.get(key)
 
     def delete(self, key: bytes):
         yield self.sim.timeout(KV_REQUEST_PROCESSING)
@@ -141,7 +161,11 @@ class KvSsd:
         namespace = self.controller.namespaces[self.namespace_id]
         lba = wal_start_lba
         applied = 0
-        fresh = LsmTree(memtable_limit=self.lsm.memtable_limit)
+        # Same metric scope: counters stay cumulative across the recovery.
+        fresh = LsmTree(
+            memtable_limit=self.lsm.memtable_limit,
+            metrics=self._metrics.scope("lsm"),
+        )
         wal_limit = min(namespace.capacity_blocks, self._sstable_lba)
         while lba < wal_limit:
             completion = yield self.qp.submit(

@@ -1,0 +1,45 @@
+"""The unified telemetry plane: one metrics registry + span tracing.
+
+The paper's central quantitative claims — predictability (p99/p50 ~= 1,
+§2), energy per operation, and reconfiguration timescales — are all
+*measurements of the substrate*. This package is the one place those
+measurements live:
+
+* a deterministic :class:`MetricsRegistry` of counters, gauges and
+  fixed-bucket histograms (with exact quantiles), addressed by
+  hierarchical component paths such as ``dpu0.net.port0.rx_frames``;
+* a :class:`Tracer` whose :class:`Span` trees nest via the simulated
+  clock, so a single KV get renders as NIC -> transport -> NVMe -> PCIe;
+* canonical byte snapshots: the same seed produces byte-identical
+  telemetry, extending the fault-schedule reproducibility contract
+  (``FaultInjector.schedule_bytes``) to every metric in the system.
+
+Every :class:`repro.sim.Simulator` owns a lazily-created registry
+(``sim.telemetry``) and tracer (``sim.tracer``); every substrate model
+emits into them. The legacy ``*Stats`` dataclasses survive as thin
+read-through facades over registry metrics.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricScope,
+    MetricsRegistry,
+    percentile,
+)
+from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Metric",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricScope",
+    "MetricsRegistry",
+    "percentile",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+]

@@ -1,0 +1,417 @@
+"""Counters, gauges, histograms, and the hierarchical metrics registry.
+
+Design rules (the determinism contract):
+
+* Metric paths are dot-separated component paths; the component id a
+  substrate uses for fault injection is the same path it uses here, so
+  one name addresses both "what can break" and "what was measured".
+* Registration is idempotent: asking for the same path twice returns the
+  same object; asking with a conflicting type raises.
+* ``snapshot_bytes()`` is canonical — paths sorted, floats rendered with
+  ``repr`` — so two runs of the same seeded workload are byte-identical.
+* Histograms keep their raw samples (this is a simulation, not a prod
+  agent), so quantiles are *exact*: linear interpolation at
+  ``fraction * (n - 1)``, matching ``statistics.quantiles`` with
+  ``method="inclusive"``. The fixed buckets exist for cheap rendering
+  and for the canonical snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "percentile",
+    "Metric",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricScope",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Exact quantile of ``samples`` by linear interpolation.
+
+    The single shared implementation behind every eval report (the two
+    private ``_percentile`` copies in ``repro.eval`` used to disagree on
+    rounding). Matches ``statistics.quantiles(..., method="inclusive")``:
+    the value at rank ``fraction * (len - 1)`` of the sorted samples,
+    interpolating between neighbours. Empty input returns 0.0.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class Metric:
+    """Base: a named value owned by (exactly one) registry."""
+
+    kind = "metric"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def snapshot_line(self) -> str:
+        """One canonical line for :meth:`MetricsRegistry.snapshot_bytes`."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing integer (frames sent, ops served...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name} cannot decrease")
+        self._value += amount
+        return self._value
+
+    def _set(self, value: int) -> None:
+        """Facade back-door: lets legacy ``stats.field += n`` call sites
+        keep working through a property setter. Still monotonic."""
+        if value < self._value:
+            raise ConfigurationError(f"counter {self.name} cannot decrease")
+        self._value = value
+
+    def snapshot_line(self) -> str:
+        return f"counter {self.name} {self._value}"
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, DRAM pressure)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._value: float = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> float:
+        self._value = value
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> float:
+        self._value += amount
+        return self._value
+
+    def dec(self, amount: float = 1.0) -> float:
+        self._value -= amount
+        return self._value
+
+    def snapshot_line(self) -> str:
+        return f"gauge {self.name} {self._value!r}"
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value})"
+
+
+#: Default histogram buckets: log-spaced from 1 ns to 10 s — wide enough
+#: for every latency this simulation produces (flash programs, ICAP
+#: reconfigurations, RPC deadlines).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** exponent for exponent in range(-9, 2)
+)
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram that also keeps raw samples.
+
+    Buckets give the canonical snapshot and the rendered distribution;
+    the raw samples give *exact* quantiles (see :func:`percentile`).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name)
+        bounds = tuple(buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram {name} needs strictly increasing bucket bounds"
+            )
+        self.bounds = bounds
+        #: counts[i] = samples <= bounds[i]; counts[-1] = overflow.
+        self._counts = [0] * (len(bounds) + 1)
+        self._samples: List[float] = []
+        self._sum = 0.0
+
+    # -- recording -----------------------------------------------------------
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self._sum += value
+        self._counts[bisect_left(self.bounds, value)] += 1
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        return tuple(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._samples) if self._samples else 0.0
+
+    @property
+    def pstdev(self) -> float:
+        if not self._samples:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((s - mean) ** 2 for s in self._samples) / len(self._samples)
+        )
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Exact quantile over every observed sample."""
+        return percentile(self._samples, fraction)
+
+    def bucket_counts(self) -> List[Tuple[Optional[float], int]]:
+        """(upper bound, count) pairs; the last bound is None (overflow)."""
+        bounds: List[Optional[float]] = list(self.bounds)
+        bounds.append(None)
+        return list(zip(bounds, self._counts))
+
+    def snapshot_line(self) -> str:
+        quantiles = " ".join(
+            f"p{int(f * 100):02d}={self.quantile(f)!r}"
+            for f in (0.50, 0.90, 0.99)
+        )
+        buckets = ",".join(str(c) for c in self._counts)
+        return (
+            f"histogram {self.name} count={self.count} sum={self._sum!r} "
+            f"min={self.min!r} max={self.max!r} {quantiles} "
+            f"buckets={buckets}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, count={self.count})"
+
+
+class MetricScope:
+    """A registry view bound to one component path prefix.
+
+    A substrate model holds a scope (``dpu0.net.port0``) and registers
+    relative names (``rx_frames``) under it. Components that learn their
+    real identity late (``attach_faults`` renames a link from ``link#2``
+    to ``client.uplink``) call :meth:`rename` — the metrics move, the
+    object references the component holds stay valid.
+    """
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+
+    @staticmethod
+    def standalone(prefix: str) -> "MetricScope":
+        """A scope over a fresh private registry, for components built
+        without a simulator (a bare LsmTree, a ReadStats in a test)."""
+        return MetricsRegistry().scope(prefix)
+
+    def _path(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self._path(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(self._path(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self.registry.histogram(self._path(name), buckets)
+
+    def scope(self, sub: str) -> "MetricScope":
+        return MetricScope(self.registry, self._path(sub))
+
+    def rename(self, new_prefix: str) -> "MetricScope":
+        self.prefix = self.registry.rename(self.prefix, new_prefix)
+        return self
+
+
+class MetricsRegistry:
+    """All metrics of one simulated system, addressed by path.
+
+    One registry per :class:`~repro.sim.Simulator` (``sim.telemetry``),
+    created lazily; a fresh simulator therefore always snapshots from a
+    clean slate, which is what makes same-seed runs byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._claimed: Dict[str, int] = {}  # base prefix -> instances seen
+
+    # -- registration --------------------------------------------------------
+    def _get_or_create(self, path: str, cls: Type[Metric], *args) -> Metric:
+        if not path:
+            raise ConfigurationError("metric path cannot be empty")
+        existing = self._metrics.get(path)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"{path} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(path, *args)
+        self._metrics[path] = metric
+        return metric
+
+    def counter(self, path: str) -> Counter:
+        return self._get_or_create(path, Counter)
+
+    def gauge(self, path: str) -> Gauge:
+        return self._get_or_create(path, Gauge)
+
+    def histogram(
+        self, path: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(path, Histogram)
+
+    def scope(self, prefix: str) -> MetricScope:
+        return MetricScope(self, prefix)
+
+    def unique_scope(self, base: str) -> MetricScope:
+        """A scope whose prefix is unique in this registry.
+
+        The first instance of a component class claims the bare name
+        (``link``); later ones get ``link#1``, ``link#2``... Claiming is
+        in construction order, which a deterministic simulation makes
+        reproducible.
+        """
+        seen = self._claimed.get(base, 0)
+        self._claimed[base] = seen + 1
+        return self.scope(base if seen == 0 else f"{base}#{seen}")
+
+    def rename(self, old_prefix: str, new_prefix: str) -> str:
+        """Move every metric under ``old_prefix`` to ``new_prefix``.
+
+        If the target prefix is already populated (two links both
+        attached as ``client.uplink``), the move is uniquified the same
+        way :meth:`unique_scope` is. Returns the prefix actually used.
+        """
+        if new_prefix == old_prefix:
+            return new_prefix
+        seen = self._claimed.get(new_prefix, 0)
+        self._claimed[new_prefix] = seen + 1
+        target = new_prefix if seen == 0 else f"{new_prefix}#{seen}"
+        moves = [
+            path for path in self._metrics
+            if path == old_prefix or path.startswith(old_prefix + ".")
+        ]
+        for path in moves:
+            metric = self._metrics.pop(path)
+            new_path = target + path[len(old_prefix):]
+            metric.name = new_path
+            self._metrics[new_path] = metric
+        return target
+
+    # -- reading -------------------------------------------------------------
+    def get(self, path: str) -> Optional[Metric]:
+        return self._metrics.get(path)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def paths(self, prefix: str = "") -> List[str]:
+        return sorted(
+            path for path in self._metrics
+            if not prefix or path == prefix or path.startswith(prefix + ".")
+        )
+
+    def walk(self, prefix: str = "") -> Iterator[Metric]:
+        for path in self.paths(prefix):
+            yield self._metrics[path]
+
+    # -- canonical output ----------------------------------------------------
+    def snapshot_bytes(self, prefix: str = "") -> bytes:
+        """The whole registry as canonical bytes.
+
+        Same seed => byte-identical output, the same contract
+        ``FaultInjector.schedule_bytes`` gives for fault schedules.
+        """
+        lines = [metric.snapshot_line() for metric in self.walk(prefix)]
+        return "\n".join(lines).encode()
+
+    def render(self, prefix: str = "") -> str:
+        """Human-readable metric tree, indented by path depth."""
+        lines: List[str] = []
+        previous: Tuple[str, ...] = ()
+        for path in self.paths(prefix):
+            parts = tuple(path.split("."))
+            # Print any new ancestor groups this path introduces.
+            common = 0
+            for a, b in zip(parts[:-1], previous):
+                if a != b:
+                    break
+                common += 1
+            for depth in range(common, len(parts) - 1):
+                lines.append("  " * depth + parts[depth] + "/")
+            metric = self._metrics[path]
+            indent = "  " * (len(parts) - 1)
+            if isinstance(metric, Counter):
+                rendered = str(metric.value)
+            elif isinstance(metric, Gauge):
+                rendered = f"{metric.value:g}"
+            else:
+                hist = metric
+                assert isinstance(hist, Histogram)
+                rendered = (
+                    f"count={hist.count} mean={hist.mean:.3g} "
+                    f"p50={hist.quantile(0.5):.3g} p99={hist.quantile(0.99):.3g}"
+                )
+            lines.append(f"{indent}{parts[-1]} = {rendered}")
+            previous = parts[:-1]
+        return "\n".join(lines)

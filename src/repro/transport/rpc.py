@@ -17,8 +17,6 @@ from typing import Any, Callable, Dict, Optional
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.sim import Event, Simulator
 
-_rpc_ids = itertools.count()
-
 RPC_HEADER = 16
 
 
@@ -115,8 +113,15 @@ class RpcServer:
         self.sim = sim
         self.transport = _DatagramAdapter(socket)
         self._handlers: Dict[str, Callable] = {}
-        self.requests_served = 0
+        self._metrics = sim.telemetry.unique_scope(
+            f"rpc.server.{self.transport.address}"
+        )
+        self._requests_served = self._metrics.counter("requests_served")
         sim.process(self._serve_loop())
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served.value
 
     @property
     def address(self) -> str:
@@ -141,17 +146,21 @@ class RpcServer:
             )
             yield from self.transport.sendto(src, response, RPC_HEADER)
             return
-        try:
-            outcome = handler(*request.args)
-            if hasattr(outcome, "send"):  # a generator: run it in sim time
-                outcome = yield self.sim.process(outcome)
-            response = RpcResponse(request.rpc_id, ok=True, result=outcome)
-        except Exception as exc:  # noqa: BLE001 - marshalled to the client
-            response = RpcResponse(request.rpc_id, ok=False, error=str(exc))
-        self.requests_served += 1
-        yield from self.transport.sendto(
-            src, response, RPC_HEADER + request.response_size
-        )
+        with self.sim.tracer.span(
+            "rpc.handle", "transport",
+            method=request.method, server=self.transport.address,
+        ):
+            try:
+                outcome = handler(*request.args)
+                if hasattr(outcome, "send"):  # a generator: run it in sim time
+                    outcome = yield self.sim.process(outcome)
+                response = RpcResponse(request.rpc_id, ok=True, result=outcome)
+            except Exception as exc:  # noqa: BLE001 - marshalled to the client
+                response = RpcResponse(request.rpc_id, ok=False, error=str(exc))
+            self._requests_served.inc()
+            yield from self.transport.sendto(
+                src, response, RPC_HEADER + request.response_size
+            )
 
 
 class RpcClient:
@@ -161,9 +170,27 @@ class RpcClient:
         self.sim = sim
         self.transport = _DatagramAdapter(socket)
         self._pending: Dict[int, Event] = {}
-        self.retransmits = 0
-        self.deadline_exceeded = 0
+        # Per-client ids: rpc ids only need to be unique within this
+        # client's pending table, and a module-global counter would leak
+        # state across runs into RetryPolicy's per-id jitter RNG —
+        # breaking same-seed => byte-identical telemetry.
+        self._rpc_ids = itertools.count()
+        self._metrics = sim.telemetry.unique_scope(
+            f"rpc.client.{self.transport.address}"
+        )
+        self._calls = self._metrics.counter("calls")
+        self._retransmits = self._metrics.counter("retransmits")
+        self._deadline_exceeded = self._metrics.counter("deadline_exceeded")
+        self._call_latency = self._metrics.histogram("call_latency")
         sim.process(self._rx_loop())
+
+    @property
+    def retransmits(self) -> int:
+        return self._retransmits.value
+
+    @property
+    def deadline_exceeded(self) -> int:
+        return self._deadline_exceeded.value
 
     def _rx_loop(self):
         while True:
@@ -199,51 +226,60 @@ class RpcClient:
         forever on a dead server — the call raises
         ``RpcError("... deadline exceeded")``.
         """
-        request = RpcRequest(next(_rpc_ids), method, args, response_size)
+        request = RpcRequest(next(self._rpc_ids), method, args, response_size)
         done = Event(self.sim)
         self._pending[request.rpc_id] = done
         started = self.sim.now
         rng = policy.rng_for(request.rpc_id) if policy is not None else None
         attempts = 0
-        while True:
-            yield from self.transport.sendto(
-                server, request, RPC_HEADER + request_size
-            )
-            if timeout is None and policy is None and deadline is None:
-                response = yield done
-                break
-            # How long to wait before this attempt is declared lost.
-            if policy is not None:
-                wait = policy.interval(attempts, rng)
-            elif timeout is not None:
-                wait = timeout
-            else:
-                wait = deadline  # no retransmission: just bound the wait
-            if deadline is not None:
-                remaining = deadline - (self.sim.now - started)
-                if remaining <= 0:
-                    self._pending.pop(request.rpc_id, None)
-                    self.deadline_exceeded += 1
-                    raise RpcError(f"{method} to {server}: deadline exceeded")
-                wait = min(wait, remaining)
-            outcome = yield self.sim.any_of([done, self.sim.timeout(wait)])
-            if done in outcome:
-                response = done.value
-                break
-            if deadline is not None and self.sim.now - started >= deadline:
-                self._pending.pop(request.rpc_id, None)
-                self.deadline_exceeded += 1
-                raise RpcError(f"{method} to {server}: deadline exceeded")
-            attempts += 1
-            if timeout is None and policy is None:
-                continue  # deadline-only calls do not retransmit
-            if attempts > retries:
-                self._pending.pop(request.rpc_id, None)
-                raise RpcError(
-                    f"{method} to {server} timed out after "
-                    f"{attempts} attempt(s)"
+        self._calls.inc()
+        with self.sim.tracer.span(
+            "rpc.call", "transport", method=method, server=server,
+        ) as span:
+            while True:
+                yield from self.transport.sendto(
+                    server, request, RPC_HEADER + request_size
                 )
-            self.retransmits += 1
+                if timeout is None and policy is None and deadline is None:
+                    response = yield done
+                    break
+                # How long to wait before this attempt is declared lost.
+                if policy is not None:
+                    wait = policy.interval(attempts, rng)
+                elif timeout is not None:
+                    wait = timeout
+                else:
+                    wait = deadline  # no retransmission: just bound the wait
+                if deadline is not None:
+                    remaining = deadline - (self.sim.now - started)
+                    if remaining <= 0:
+                        self._pending.pop(request.rpc_id, None)
+                        self._deadline_exceeded.inc()
+                        raise RpcError(
+                            f"{method} to {server}: deadline exceeded"
+                        )
+                    wait = min(wait, remaining)
+                outcome = yield self.sim.any_of([done, self.sim.timeout(wait)])
+                if done in outcome:
+                    response = done.value
+                    break
+                if deadline is not None and self.sim.now - started >= deadline:
+                    self._pending.pop(request.rpc_id, None)
+                    self._deadline_exceeded.inc()
+                    raise RpcError(f"{method} to {server}: deadline exceeded")
+                attempts += 1
+                if timeout is None and policy is None:
+                    continue  # deadline-only calls do not retransmit
+                if attempts > retries:
+                    self._pending.pop(request.rpc_id, None)
+                    raise RpcError(
+                        f"{method} to {server} timed out after "
+                        f"{attempts} attempt(s)"
+                    )
+                self._retransmits.inc()
+            if attempts:
+                span.annotate(retransmits=attempts)
+        self._call_latency.observe(self.sim.now - started)
         if not response.ok:
             raise RpcError(response.error)
         return response.result

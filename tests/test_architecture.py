@@ -17,7 +17,7 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 #: Packages that model the CPU-free side and must never touch the baseline.
 CPU_FREE_PACKAGES = [
     "hw", "memory", "ebpf", "hdl", "transport", "storage",
-    "datastruct", "fs", "formats", "dpu", "sim", "common",
+    "datastruct", "fs", "formats", "dpu", "sim", "common", "telemetry",
 ]
 
 
@@ -57,14 +57,33 @@ class TestCpuFreeDiscipline:
                         f"{path.relative_to(SRC)} imports {module}"
                     )
 
-    def test_sim_kernel_is_leaf(self):
-        """The DES kernel depends on nothing else in repro."""
+    def test_sim_kernel_is_near_leaf(self):
+        """The DES kernel depends only on the telemetry plane below it.
+
+        The metrics registry and tracer sit *under* the simulator (every
+        component reaches them through ``sim.telemetry`` / ``sim.tracer``),
+        so ``repro.sim`` may import ``repro.telemetry`` — and nothing else.
+        """
         for path in _package_files("sim"):
             for module in _imports_of(path):
                 if module.startswith("repro."):
-                    assert module.startswith("repro.sim"), (
+                    assert module.startswith(("repro.sim", "repro.telemetry")), (
                         f"sim kernel imports {module}"
                     )
+
+    def test_telemetry_is_leaf(self):
+        """The telemetry plane depends only on repro.common.
+
+        It must stay importable from every layer (sim, hw, datastruct,
+        formats) without cycles, so it can depend on nothing above the
+        error types.
+        """
+        for path in _package_files("telemetry"):
+            for module in _imports_of(path):
+                if module.startswith("repro."):
+                    assert module.startswith(
+                        ("repro.telemetry", "repro.common")
+                    ), f"telemetry imports {module}"
 
 
 class TestDocstringsEverywhere:

@@ -1,0 +1,221 @@
+"""The unified telemetry plane: registry, histograms, tracing, determinism."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.eval.chaos import run_chaos
+from repro.eval.telemetry import run_telemetry
+from repro.sim import ManualClock, Simulator
+from repro.telemetry import (
+    NULL_SPAN,
+    Histogram,
+    MetricScope,
+    MetricsRegistry,
+    Tracer,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([3.0], 0.0) == 3.0
+        assert percentile([3.0], 1.0) == 3.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 1.0], 0.5) == 0.5
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -0.1)
+
+    def test_matches_statistics_quantiles(self):
+        """Property-style: random samples against the stdlib's inclusive
+        quantiles, which use the same linear-interpolation definition."""
+        rng = random.Random(2023)
+        for trial in range(25):
+            n = rng.randint(2, 200)
+            samples = [rng.expovariate(1.0) for _ in range(n)]
+            cut = statistics.quantiles(samples, n=100, method="inclusive")
+            for pct in (1, 10, 25, 50, 75, 90, 99):
+                assert percentile(samples, pct / 100) == pytest.approx(
+                    cut[pct - 1], rel=1e-12, abs=1e-15
+                )
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        g = reg.gauge("a.depth")
+        g.set(3.5)
+        g.dec(1.5)
+        assert g.value == 2.0
+        h = reg.histogram("a.lat")
+        h.observe(1e-6)
+        assert h.count == 1
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("c").inc(-1)
+
+    def test_idempotent_and_type_conflict(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_unique_scope_suffixes(self):
+        reg = MetricsRegistry()
+        assert reg.unique_scope("link").prefix == "link"
+        assert reg.unique_scope("link").prefix == "link#1"
+        assert reg.unique_scope("link").prefix == "link#2"
+
+    def test_rename_moves_metrics(self):
+        reg = MetricsRegistry()
+        scope = reg.unique_scope("link")
+        counter = scope.counter("frames")
+        counter.inc()
+        scope.rename("dpu0.uplink")
+        assert "dpu0.uplink.frames" in reg
+        assert "link.frames" not in reg
+        assert counter.name == "dpu0.uplink.frames"
+        assert reg.counter("dpu0.uplink.frames").value == 1
+
+    def test_snapshot_is_sorted_canonical_bytes(self):
+        reg = MetricsRegistry()
+        reg.counter("b.second").inc(2)
+        reg.counter("a.first").inc(1)
+        snap = reg.snapshot_bytes()
+        assert isinstance(snap, bytes)
+        lines = snap.decode().splitlines()
+        assert lines == sorted(lines)
+        # Identical content => identical bytes, regardless of creation order.
+        other = MetricsRegistry()
+        other.counter("a.first").inc(1)
+        other.counter("b.second").inc(2)
+        assert other.snapshot_bytes() == snap
+
+    def test_standalone_scopes_are_isolated(self):
+        a = MetricScope.standalone("lsm")
+        b = MetricScope.standalone("lsm")
+        a.counter("flushes").inc()
+        assert b.counter("flushes").value == 0
+
+
+class TestHistogramQuantiles:
+    def test_quantile_matches_statistics(self):
+        rng = random.Random(99)
+        h = Histogram("lat")
+        samples = [rng.lognormvariate(0, 1) for _ in range(500)]
+        for s in samples:
+            h.observe(s)
+        cut = statistics.quantiles(samples, n=100, method="inclusive")
+        assert h.quantile(0.50) == pytest.approx(cut[49], rel=1e-12)
+        assert h.quantile(0.99) == pytest.approx(cut[98], rel=1e-12)
+        assert h.mean == pytest.approx(statistics.mean(samples))
+        assert h.pstdev == pytest.approx(statistics.pstdev(samples))
+
+    def test_bucket_counts_total(self):
+        h = Histogram("lat")
+        for value in (1e-9, 1e-6, 1e-3, 1.0, 100.0):
+            h.observe(value)
+        assert sum(count for __, count in h.bucket_counts()) == h.count == 5
+
+
+class TestTracer:
+    def test_disabled_returns_null_span(self):
+        sim = Simulator()
+        span = sim.tracer.span("x", "net")
+        assert span is NULL_SPAN
+
+    def test_nesting_follows_the_clock(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        tracer.enable()
+        with tracer.span("outer", "transport"):
+            clock.advance(1.0)
+            with tracer.span("inner", "nvme") as inner:
+                clock.advance(0.5)
+                inner.annotate(lba=7)
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert root.duration == pytest.approx(1.5)
+        assert root.children[0].name == "inner"
+        assert root.children[0].attrs["lba"] == 7
+        assert tracer.substrates() == {"transport", "nvme"}
+
+    def test_traced_kv_get_crosses_substrates(self):
+        """The acceptance demo: one KV get spans >= 3 substrates."""
+        report = run_telemetry()
+        assert report.value == b"v" * 64
+        assert len(report.substrates) >= 3
+        assert {"net", "nvme", "transport"} <= set(report.substrates)
+        # The tree actually nests: rpc.call -> ... -> nvme.cmd.
+        assert report.span_count >= 5
+        max_depth = max(
+            (line.count("  ") for line in report.trace.splitlines()), default=0
+        )
+        assert max_depth >= 2
+
+
+class TestLegacyFacades:
+    def test_link_stats_read_through(self):
+        from repro.hw.net import Frame, Network
+
+        sim = Simulator()
+        network = Network(sim)
+        a = network.endpoint("a")
+        network.endpoint("b")
+
+        def send():
+            yield from a.send(Frame("a", "b", None, payload_size=100))
+
+        sim.run_process(send())
+        assert a.stats().tx.frames_sent == 1
+        assert sim.telemetry.counter("net.link.a.up.frames_sent").value == 1
+
+    def test_store_stats_facade_writes_through(self):
+        from repro.memory.store import StoreStats
+
+        stats = StoreStats()
+        stats.allocations += 2
+        stats.reads += 1
+        assert stats.allocations == 2
+        assert stats.reads == 1
+
+    def test_clock_shim_reexports(self):
+        from repro.faults.clock import ManualClock as Shimmed
+        from repro.sim.clock import ManualClock as Canonical
+
+        assert Shimmed is Canonical
+
+
+class TestDeterministicSnapshots:
+    # Small enough to run in a couple of seconds, big enough to exercise
+    # retransmits, failover, and the fault storm.
+    CONFIG = dict(seed=11, dpu_count=3, replication=2, ops=48, preload=12)
+
+    def test_same_seed_same_bytes(self):
+        first = run_chaos(**self.CONFIG)
+        second = run_chaos(**self.CONFIG)
+        assert first.telemetry, "chaos run produced an empty snapshot"
+        assert first.telemetry == second.telemetry
+        assert first.schedule == second.schedule
+
+    def test_different_seed_different_bytes(self):
+        first = run_chaos(**self.CONFIG)
+        other = run_chaos(**{**self.CONFIG, "seed": 12})
+        assert first.telemetry != other.telemetry
