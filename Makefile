@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-tables eval chaos examples all
+.PHONY: install test lint bench bench-tables bench-report eval chaos examples all
 
 install:
 	pip install -e .
@@ -21,6 +21,13 @@ bench:
 
 bench-tables:
 	pytest benchmarks/ --benchmark-only -s
+
+# E14 continuous benchmark: run every experiment under the telemetry
+# sampler, publish a canonical BENCH_<n>.json at the repo root, and diff
+# it against the previous artifact (>20% on a tracked latency/throughput
+# is a regression). Same seed => byte-identical artifact.
+bench-report:
+	python -m repro.bench --check
 
 eval:
 	python -m repro.eval

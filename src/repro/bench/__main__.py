@@ -1,0 +1,117 @@
+"""Continuous-benchmark CLI: ``python -m repro.bench``.
+
+Usage::
+
+    python -m repro.bench                   # run all, publish BENCH_<n>.json
+    python -m repro.bench --check           # nonzero exit on regression (CI)
+    python -m repro.bench --seed 42         # alternate seed for seeded runs
+    python -m repro.bench --output-dir out  # artifact directory (default: .)
+    python -m repro.bench --list            # registered experiments
+    python -m repro.bench e12 e13           # subset (not published)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench import SPECS, BenchOutcome, publish, run_suite
+
+
+def _report(outcome: BenchOutcome) -> str:
+    run = outcome.run
+    lines = ["repro continuous benchmark", "=" * 26]
+    total_wall = sum(run.wall_clock.values())
+    for key, experiment in sorted(run.payload["experiments"].items()):
+        wall = run.wall_clock.get(key, 0.0)
+        tracked = sum(
+            1 for m in experiment["metrics"].values() if m["better"] != "info"
+        )
+        lines.append(
+            f"  {key:>9}  {experiment['title']:<42} "
+            f"{tracked:2d} tracked metrics  {wall * 1e3:7.1f} ms wall"
+        )
+    lines.append(f"  {'total':>9}  {'':<42} "
+                 f"{'':>18}  {total_wall * 1e3:7.1f} ms wall")
+    lines.append("")
+    if outcome.unchanged:
+        lines.append(
+            f"artifact unchanged: payload is byte-identical to "
+            f"{outcome.compared_against.name}; nothing written"
+        )
+        return "\n".join(lines)
+    lines.append(f"wrote {outcome.written}")
+    if outcome.compared_against is None:
+        lines.append("no previous artifact; baseline established")
+        return "\n".join(lines)
+    lines.append(f"compared against {outcome.compared_against.name}:")
+    moved = [d for d in outcome.deltas if d.regressed or d.improved]
+    steady = len(outcome.deltas) - len(moved)
+    for delta in moved:
+        lines.append(f"  {delta.line()}")
+    lines.append(f"  ({steady} tracked metrics within "
+                 "+/-20%, not shown)")
+    if outcome.regressions:
+        lines.append(f"REGRESSIONS: {len(outcome.regressions)}")
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    if "--list" in args:
+        for spec in SPECS:
+            seeded = "seeded" if spec.seeded else "fixed"
+            print(f"{spec.key:>9}  [{seeded:>6}]  {spec.title}")
+        return 0
+    check = "--check" in args
+    if check:
+        args.remove("--check")
+    seed: Optional[int] = None
+    if "--seed" in args:
+        at = args.index("--seed")
+        try:
+            seed = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("--seed requires an integer argument", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    directory = Path(".")
+    if "--output-dir" in args:
+        at = args.index("--output-dir")
+        try:
+            directory = Path(args[at + 1])
+        except IndexError:
+            print("--output-dir requires a path argument", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    keys: Optional[List[str]] = [a.lower() for a in args] or None
+    if keys:
+        known = {spec.key for spec in SPECS}
+        unknown = [key for key in keys if key not in known]
+        if unknown:
+            print(f"unknown experiments: {', '.join(unknown)}",
+                  file=sys.stderr)
+            print("use --list to see the available ids", file=sys.stderr)
+            return 2
+        # Subset runs are for iterating locally; they never enter history.
+        run = run_suite(seed=seed, keys=keys)
+        print(f"subset run ({', '.join(keys)}); artifact not published")
+        for key, experiment in sorted(run.payload["experiments"].items()):
+            print(f"\n{key}: {experiment['title']}")
+            for name, metric in experiment["metrics"].items():
+                print(f"  {name:<34} {metric['value']!r:>24} "
+                      f"{metric['unit']} [{metric['better']}]")
+        return 0
+    directory.mkdir(parents=True, exist_ok=True)
+    outcome = publish(run_suite(seed=seed), directory)
+    print(_report(outcome))
+    if check and outcome.regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

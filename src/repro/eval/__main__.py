@@ -2,15 +2,16 @@
 
 Usage::
 
-    python -m repro.eval             # everything
-    python -m repro.eval e3 e6       # selected experiments
+    python -m repro.eval                 # everything
+    python -m repro.eval e3 e6           # selected experiments
+    python -m repro.eval --seed 42 e13   # reproducible alternate seed
     python -m repro.eval --list
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.eval.analytics import format_analytics, run_analytics
 from repro.eval.chaos import format_chaos, run_chaos
@@ -30,41 +31,59 @@ from repro.eval.table1 import run_table1
 from repro.eval.telemetry import format_telemetry, run_telemetry
 from repro.eval.translation import format_translation, run_translation
 
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+
+def _seeded(run, format_fn):
+    """A runner forwarding ``--seed`` into a seed-accepting ``run_*``."""
+    def runner(seed: Optional[int]) -> str:
+        result = run() if seed is None else run(seed=seed)
+        return format_fn(result)
+    return runner
+
+
+def _unseeded(run, format_fn):
+    """A runner for deterministic experiments with no seed parameter."""
+    def runner(seed: Optional[int]) -> str:
+        return format_fn(run())
+    return runner
+
+
+#: id -> (title, runner(seed) -> rendered text). Seeded experiments
+#: thread ``--seed`` into their ``run_*``; the rest ignore it.
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[Optional[int]], str]]] = {
     "t1": ("Table 1: state-of-the-art matrix",
-           lambda: run_table1().render()),
+           _unseeded(run_table1, lambda table: table.render())),
     "f12": ("Figures 1+2: BOM and schematic",
-            lambda: format_figures(run_figures())),
+            _unseeded(run_figures, format_figures)),
     "e1": ("E1: volume + energy efficiency",
-           lambda: format_efficiency(run_efficiency())),
+           _unseeded(run_efficiency, format_efficiency)),
     "e2": ("E2: pointer chasing",
-           lambda: format_pointer_chase(run_pointer_chase())),
+           _seeded(run_pointer_chase, format_pointer_chase)),
     "e3": ("E3: fail2ban",
-           lambda: format_fail2ban(run_fail2ban())),
+           _seeded(run_fail2ban, format_fail2ban)),
     "e4": ("E4: load balancer overflow",
-           lambda: format_loadbalancer(run_loadbalancer())),
+           _seeded(run_loadbalancer, format_loadbalancer)),
     "e5": ("E5: segment vs page translation",
-           lambda: format_translation(run_translation())),
+           _seeded(run_translation, format_translation)),
     "e6": ("E6: predictability + energy",
-           lambda: format_predictability(run_predictability())),
+           _unseeded(run_predictability, format_predictability)),
     "e7": ("E7: partial reconfiguration",
-           lambda: format_reconfig(run_reconfig())),
+           _unseeded(run_reconfig, format_reconfig)),
     "e8": ("E8: Corfu shared log",
-           lambda: format_corfu(run_corfu())),
+           _unseeded(run_corfu, format_corfu)),
     "e9": ("E9: Parquet/Arrow end to end",
-           lambda: format_analytics(run_analytics())),
+           _unseeded(run_analytics, format_analytics)),
     "e10": ("E10: eBPF->HDL compiler corpus",
-            lambda: format_compiler(run_compiler())),
+            _unseeded(run_compiler, format_compiler)),
     "e11": ("E11: persistence + recovery",
-            lambda: format_recovery(run_recovery())),
+            _unseeded(run_recovery, format_recovery)),
     "e12": ("E12: KV-SSD transports",
-            lambda: format_kvssd(run_kvssd())),
+            _unseeded(run_kvssd, format_kvssd)),
     "e13": ("E13: chaos storm + replicated failover",
-            lambda: format_chaos(run_chaos())),
+            _seeded(run_chaos, format_chaos)),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
-            lambda: format_p2pdma(run_p2pdma())),
+            _unseeded(run_p2pdma, format_p2pdma)),
     "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",
-                  lambda: format_telemetry(run_telemetry())),
+                  _unseeded(run_telemetry, format_telemetry)),
 }
 
 
@@ -74,6 +93,15 @@ def main(argv) -> int:
         for key, (title, __) in EXPERIMENTS.items():
             print(f"{key:>4}  {title}")
         return 0
+    seed: Optional[int] = None
+    if "--seed" in args:
+        at = args.index("--seed")
+        try:
+            seed = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("--seed requires an integer argument", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
     selected = args if args else list(EXPERIMENTS)
     unknown = [key for key in selected if key not in EXPERIMENTS]
     if unknown:
@@ -83,7 +111,7 @@ def main(argv) -> int:
     for key in selected:
         title, runner = EXPERIMENTS[key]
         print(f"\n### {title}\n")
-        print(runner())
+        print(runner(seed))
     return 0
 
 

@@ -28,7 +28,19 @@ from repro.eval.report import Table
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.hw.net import Network
 from repro.sim import Simulator
-from repro.telemetry import percentile
+from repro.telemetry import Sampler, SloMonitor, SloRule, percentile
+
+#: Sampling period for the E13 time series: fine enough to catch the
+#: retry spike around the kill, coarse enough to stay cheap.
+SAMPLE_PERIOD = 0.25e-3
+
+#: The storm's service objectives. Interval p99 of the client-observed
+#: op latency must stay under 2 ms (one retransmit timeout blows it);
+#: the worst single op must stay under 20 ms (several backoff rounds).
+SLO_RULES = (
+    ("op-p99", "eval.chaos.op_latency p99 < 2ms for 0.5ms"),
+    ("op-max", "eval.chaos.op_latency max < 20ms"),
+)
 
 
 @dataclass
@@ -68,6 +80,16 @@ class ChaosReport:
     schedule: bytes
     #: Canonical registry snapshot of the storm run — same seed, same bytes.
     telemetry: bytes = b""
+    #: Sampler ticks taken during the storm run.
+    samples: int = 0
+    #: How many SLO rules entered the firing state during the storm.
+    slo_alerts_fired: int = 0
+    #: Canonical alert log — same seed, same bytes.
+    slo_alert_log: bytes = b""
+    #: Per-rule end-of-run summary (human-readable).
+    slo_summary: str = ""
+    #: Canonical dump of every sampled series — same seed, same bytes.
+    series: bytes = b""
 
 
 def _key(index: int) -> bytes:
@@ -100,9 +122,24 @@ def _run_storm(
 
     outcomes: List[OpOutcome] = []
     op_latency = sim.telemetry.histogram("eval.chaos.op_latency")
+    # The export-and-watch layer rides along: sample the op-latency
+    # histogram plus the failover client's RPC counters on the simulated
+    # clock, and evaluate the storm SLOs on every tick.
+    sampler = Sampler(sim.telemetry, sim, period=SAMPLE_PERIOD)
+    sampler.watch("eval.chaos.op_latency")
+    sampler.watch_prefix("rpc.client.chaos-client")
+    monitor = SloMonitor(
+        sampler,
+        [SloRule.parse(text, name=name) for name, text in SLO_RULES],
+    )
     done = [False]
     kill_observed = [None]
     preload_end = [0.0]
+
+    def sampling():
+        while not done[0]:
+            yield sim.timeout(sampler.period)
+            sampler.sample()
 
     def controller():
         # The chaos controller: maps NODE_DOWN windows onto switch
@@ -149,10 +186,11 @@ def _run_storm(
         done[0] = True
 
     sim.process(controller())
+    sim.process(sampling())
     sim.run_process(workload())
     return (
         sim, cluster, client, injector, outcomes,
-        kill_observed[0], preload_end[0],
+        kill_observed[0], preload_end[0], sampler, monitor,
     )
 
 
@@ -184,7 +222,7 @@ def run_chaos(
     # Fault-free twin run: the latency baseline the storm inflates, and the
     # timing reference for the kill (30% into the measured workload phase,
     # safely past the preload — a kill during preload would skew recovery).
-    __, __, __, __, clean_outcomes, __, clean_preload_end = _run_storm(
+    __, __, __, __, clean_outcomes, __, clean_preload_end, __, __ = _run_storm(
         seed, FaultPlan(seed=seed), dpu_count, replication, ops, preload, None
     )
     clean_p99 = percentile([o.latency for o in clean_outcomes], 0.99)
@@ -193,7 +231,10 @@ def run_chaos(
         kill_at = clean_preload_end + 0.3 * (clean_end - clean_preload_end)
 
     plan = build_storm_plan(seed, kill_at, victim=victim)
-    sim, cluster, client, injector, outcomes, kill_time, __ = _run_storm(
+    (
+        sim, cluster, client, injector, outcomes, kill_time, __,
+        sampler, monitor,
+    ) = _run_storm(
         seed, plan, dpu_count, replication, ops, preload, victim_index
     )
 
@@ -224,6 +265,11 @@ def run_chaos(
         faults_injected=len(injector.log),
         schedule=injector.schedule_bytes(),
         telemetry=sim.telemetry.snapshot_bytes(),
+        samples=sampler.ticks,
+        slo_alerts_fired=monitor.fired_count(),
+        slo_alert_log=monitor.alert_log_bytes(),
+        slo_summary=monitor.summary(),
+        series=sampler.snapshot_bytes(),
     )
 
 
@@ -252,4 +298,19 @@ def format_chaos(report: ChaosReport) -> str:
     )
     table.add_row("recovery time (first success after kill)", recovery)
     table.add_row("faults injected", report.faults_injected)
-    return table.render()
+    table.add_row("sampler ticks", report.samples)
+    table.add_row("SLO alerts fired", report.slo_alerts_fired)
+    rendered = table.render()
+    if report.slo_summary:
+        rendered += "\n\nSLO objectives:\n" + "\n".join(
+            f"  {line}" for line in report.slo_summary.splitlines()
+        )
+    if report.slo_alert_log:
+        lines = report.slo_alert_log.decode().splitlines()
+        shown = lines[:8]
+        rendered += "\n\nAlert log:\n" + "\n".join(
+            f"  {line}" for line in shown
+        )
+        if len(lines) > len(shown):
+            rendered += f"\n  ... (+{len(lines) - len(shown)} more entries)"
+    return rendered

@@ -36,8 +36,9 @@ class Fail2BanResult:
     throughput_pps: float
 
 
-def run_fail2ban(packet_count: int = 2000, threshold: int = 3) -> List[Fail2BanResult]:
-    trace = generate_packet_trace(packet_count, seed=17)
+def run_fail2ban(packet_count: int = 2000, threshold: int = 3,
+                 seed: int = 17) -> List[Fail2BanResult]:
+    trace = generate_packet_trace(packet_count, seed=seed)
 
     # -- Hyperion -------------------------------------------------------------
     sim = Simulator()

@@ -17,6 +17,7 @@ from repro.hw.net import Network
 from repro.hw.nvme import Namespace, NvmeController
 from repro.sim import Simulator
 from repro.storage import KvSsd, KvSsdClient, KvSsdService
+from repro.telemetry import Sampler
 from repro.transport import (
     HomaSocket,
     RdmaNic,
@@ -26,6 +27,10 @@ from repro.transport import (
     UdpSocket,
 )
 from repro.transport.rpc import RpcRequest, RpcResponse
+
+#: Sampling period for the per-transport time series (an op pair costs
+#: tens of microseconds, so this lands a tick every few ops).
+SAMPLE_PERIOD = 100e-6
 
 
 @dataclass
@@ -37,6 +42,21 @@ class TransportPoint:
     mean_get: float
     mean_put: float
     ops_per_second: float
+    #: Exact tail latencies from the per-run get/put histograms.
+    p99_get: float = 0.0
+    p99_put: float = 0.0
+    #: Sampler ticks taken while the workload ran.
+    sampled_points: int = 0
+
+
+def _latency_probes(sim: Simulator):
+    """The per-run get/put latency histograms plus a driving sampler."""
+    get_hist = sim.telemetry.histogram("eval.kvssd.get_latency")
+    put_hist = sim.telemetry.histogram("eval.kvssd.put_latency")
+    sampler = Sampler(sim.telemetry, sim, period=SAMPLE_PERIOD)
+    sampler.watch("eval.kvssd.get_latency")
+    sampler.watch("eval.kvssd.put_latency")
+    return get_hist, put_hist, sampler
 
 
 def _make_device(sim) -> KvSsd:
@@ -57,8 +77,10 @@ def _run_datagram(kind: str, operations: int) -> TransportPoint:
     device = _make_device(sim)
     KvSsdService(RpcServer(sim, server_sock), device)
     stub = KvSsdClient(RpcClient(sim, client_sock), "dpu")
+    get_hist, put_hist, sampler = _latency_probes(sim)
     put_time, get_time = [0.0], [0.0]
     started = sim.now
+    finished = [0.0]
 
     def scenario():
         for i in range(operations):
@@ -66,19 +88,25 @@ def _run_datagram(kind: str, operations: int) -> TransportPoint:
             t0 = sim.now
             yield from stub.put(key, b"v" * 64)
             put_time[0] += sim.now - t0
+            put_hist.observe(sim.now - t0)
             t0 = sim.now
             value = yield from stub.get(key)
             get_time[0] += sim.now - t0
+            get_hist.observe(sim.now - t0)
             assert value == b"v" * 64
+        finished[0] = sim.now
 
-    sim.run_process(scenario())
-    elapsed = sim.now - started
+    sampler.run(sim, scenario())
+    elapsed = finished[0] - started
     return TransportPoint(
         transport=kind,
         operations=2 * operations,
         mean_get=get_time[0] / operations,
         mean_put=put_time[0] / operations,
         ops_per_second=2 * operations / elapsed,
+        p99_get=get_hist.quantile(0.99),
+        p99_put=put_hist.quantile(0.99),
+        sampled_points=sampler.ticks,
     )
 
 
@@ -103,8 +131,10 @@ def _run_tcp(operations: int) -> TransportPoint:
             )
 
     sim.process(server_loop())
+    get_hist, put_hist, sampler = _latency_probes(sim)
     put_time, get_time = [0.0], [0.0]
     started = [0.0]
+    finished = [0.0]
 
     def scenario():
         connection = yield from client_stack.connect("dpu")
@@ -118,6 +148,7 @@ def _run_tcp(operations: int) -> TransportPoint:
             )
             yield connection.recv()
             put_time[0] += sim.now - t0
+            put_hist.observe(sim.now - t0)
             rpc_id += 1
             t0 = sim.now
             yield from connection.send(
@@ -126,16 +157,21 @@ def _run_tcp(operations: int) -> TransportPoint:
             response, __ = yield connection.recv()
             assert response.result == b"v" * 64
             get_time[0] += sim.now - t0
+            get_hist.observe(sim.now - t0)
             rpc_id += 1
+        finished[0] = sim.now
 
-    sim.run_process(scenario())
-    elapsed = sim.now - started[0]
+    sampler.run(sim, scenario())
+    elapsed = finished[0] - started[0]
     return TransportPoint(
         transport="tcp",
         operations=2 * operations,
         mean_get=get_time[0] / operations,
         mean_put=put_time[0] / operations,
         ops_per_second=2 * operations / elapsed,
+        p99_get=get_hist.quantile(0.99),
+        p99_put=put_hist.quantile(0.99),
+        sampled_points=sampler.ticks,
     )
 
 
@@ -151,8 +187,10 @@ def _run_rdma(operations: int) -> TransportPoint:
     # The DPU exposes a value cache region; offsets assigned per key.
     region_bytes = bytearray(operations * 64)
     region = server_nic.register_region(region_bytes)
+    get_hist, put_hist, sampler = _latency_probes(sim)
     put_time, get_time = [0.0], [0.0]
     started = sim.now
+    finished = [0.0]
 
     def scenario():
         for i in range(operations):
@@ -162,19 +200,25 @@ def _run_rdma(operations: int) -> TransportPoint:
             yield from stub.put(key, value)
             region_bytes[i * 64 : (i + 1) * 64] = value  # cache fill
             put_time[0] += sim.now - t0
+            put_hist.observe(sim.now - t0)
             t0 = sim.now
             data = yield from client_nic.read("dpu-rdma", region.rkey, i * 64, 64)
             get_time[0] += sim.now - t0
+            get_hist.observe(sim.now - t0)
             assert data == value
+        finished[0] = sim.now
 
-    sim.run_process(scenario())
-    elapsed = sim.now - started
+    sampler.run(sim, scenario())
+    elapsed = finished[0] - started
     return TransportPoint(
         transport="rdma(read)",
         operations=2 * operations,
         mean_get=get_time[0] / operations,
         mean_put=put_time[0] / operations,
         ops_per_second=2 * operations / elapsed,
+        p99_get=get_hist.quantile(0.99),
+        p99_put=put_hist.quantile(0.99),
+        sampled_points=sampler.ticks,
     )
 
 
@@ -190,13 +234,17 @@ def run_kvssd(operations: int = 100) -> List[TransportPoint]:
 def format_kvssd(points: List[TransportPoint]) -> str:
     table = Table(
         "E12: KV-SSD over specialized transports (Willow-style RPC)",
-        ["transport", "ops", "mean get", "mean put", "ops/s"],
+        ["transport", "ops", "mean get", "p99 get", "mean put", "p99 put",
+         "ops/s", "samples"],
     )
     for p in points:
         table.add_row(
             p.transport, p.operations,
             f"{p.mean_get * 1e6:.1f} us",
+            f"{p.p99_get * 1e6:.1f} us",
             f"{p.mean_put * 1e6:.1f} us",
+            f"{p.p99_put * 1e6:.1f} us",
             f"{p.ops_per_second:.0f}",
+            p.sampled_points,
         )
     return table.render()

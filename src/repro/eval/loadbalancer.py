@@ -32,14 +32,14 @@ class LbResult:
 
 
 def _run_policy(policy: str, packet_count: int, flow_count: int,
-                dram_entries: int) -> LbResult:
+                dram_entries: int, seed: int = 23) -> LbResult:
     sim = Simulator()
     dpu = HyperionDpu(sim, Network(sim), ssd_blocks=65536)
     sim.run_process(dpu.boot())
     lb = LoadBalancer(
         sim, dpu, dram_table_entries=dram_entries, policy=policy
     )
-    trace = generate_connections(packet_count, flow_count=flow_count, seed=23)
+    trace = generate_connections(packet_count, flow_count=flow_count, seed=seed)
     started = sim.now
 
     def scenario():
@@ -60,11 +60,12 @@ def _run_policy(policy: str, packet_count: int, flow_count: int,
 
 
 def run_loadbalancer(
-    packet_count: int = 4000, flow_count: int = 600, dram_entries: int = 64
+    packet_count: int = 4000, flow_count: int = 600, dram_entries: int = 64,
+    seed: int = 23,
 ) -> List[LbResult]:
     return [
-        _run_policy("overflow", packet_count, flow_count, dram_entries),
-        _run_policy("drop", packet_count, flow_count, dram_entries),
+        _run_policy("overflow", packet_count, flow_count, dram_entries, seed),
+        _run_policy("drop", packet_count, flow_count, dram_entries, seed),
     ]
 
 

@@ -81,9 +81,10 @@ def _measure(keys: int, propagation: float, lookups: int = 20,
 def run_pointer_chase(
     key_counts: List[int] = (16, 64, 256, 1024, 4096),
     propagations: List[float] = (1e-6, 10e-6, 50e-6),
+    seed: int = 2,
 ) -> List[ChasePoint]:
     return [
-        _measure(keys, propagation)
+        _measure(keys, propagation, seed=seed)
         for propagation in propagations
         for keys in key_counts
     ]

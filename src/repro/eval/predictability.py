@@ -25,7 +25,7 @@ from repro.eval.report import Table
 from repro.hdl.engine import HardwarePipeline, compile_program
 from repro.power.energy import HYPERION_POWER, total_tdp
 from repro.sim import Simulator
-from repro.telemetry import Histogram
+from repro.telemetry import Histogram, Sampler
 
 
 @dataclass
@@ -39,6 +39,11 @@ class PredictabilityResult:
     p50: float
     p99: float
     energy_per_op_j: float
+    #: Time-series view from the sampler: how many interval-p99 points
+    #: were recorded, and the worst of them. A predictable substrate has
+    #: interval_p99_max == p99 (the distribution never moves over time).
+    sampled_points: int = 0
+    interval_p99_max: float = 0.0
 
     @property
     def jitter_ratio(self) -> float:
@@ -46,8 +51,10 @@ class PredictabilityResult:
         return self.p99 / self.p50 if self.p50 else float("inf")
 
 
-def _result(system: str, hist: Histogram, watts: float) -> PredictabilityResult:
+def _result(system: str, hist: Histogram, watts: float,
+            sampler: Sampler) -> PredictabilityResult:
     """Distill one substrate's latency histogram into a result row."""
+    p99_series = sampler.series(f"{hist.name}.p99")
     return PredictabilityResult(
         system=system,
         runs=hist.count,
@@ -56,7 +63,18 @@ def _result(system: str, hist: Histogram, watts: float) -> PredictabilityResult:
         p50=hist.quantile(0.50),
         p99=hist.quantile(0.99),
         energy_per_op_j=watts * hist.sum / hist.count,
+        sampled_points=len(p99_series) if p99_series else 0,
+        interval_p99_max=p99_series.max() if p99_series else 0.0,
     )
+
+
+def _run_sampled(sim: Simulator, scenario, hist_path: str,
+                 period: float) -> Sampler:
+    """Run one substrate's scenario with a sampler watching its histogram."""
+    sampler = Sampler(sim.telemetry, sim, period=period)
+    sampler.watch(hist_path)
+    sampler.run(sim, scenario)
+    return sampler
 
 
 def run_predictability(runs: int = 1000) -> List[PredictabilityResult]:
@@ -77,8 +95,12 @@ def run_predictability(runs: int = 1000) -> List[PredictabilityResult]:
             yield from pipeline.execute(context)
             hw_hist.observe(sim.now - start)
 
-    sim.run_process(hw_scenario())
-    hw = _result("hyperion-pipeline", hw_hist, total_tdp(HYPERION_POWER))
+    hw_sampler = _run_sampled(
+        sim, hw_scenario(), "eval.predictability.hw_latency", period=1e-6
+    )
+    hw = _result(
+        "hyperion-pipeline", hw_hist, total_tdp(HYPERION_POWER), hw_sampler
+    )
 
     # -- CPU interpreter ------------------------------------------------------
     sim = Simulator()
@@ -92,9 +114,11 @@ def run_predictability(runs: int = 1000) -> List[PredictabilityResult]:
             yield from cpu.execute_ebpf(vm, context)
             cpu_hist.observe(sim.now - start)
 
-    sim.run_process(cpu_scenario())
+    cpu_sampler = _run_sampled(
+        sim, cpu_scenario(), "eval.predictability.cpu_latency", period=20e-6
+    )
     cpu_result = _result(
-        "cpu-interpreter", cpu_hist, SUPERMICRO_X12.max_tdp_watts
+        "cpu-interpreter", cpu_hist, SUPERMICRO_X12.max_tdp_watts, cpu_sampler
     )
     return [hw, cpu_result]
 
@@ -102,7 +126,8 @@ def run_predictability(runs: int = 1000) -> List[PredictabilityResult]:
 def format_predictability(results: List[PredictabilityResult]) -> str:
     table = Table(
         "E6: predictability and energy, hardware pipeline vs CPU software",
-        ["system", "mean", "stddev", "p50", "p99", "p99/p50", "energy/op"],
+        ["system", "mean", "stddev", "p50", "p99", "p99/p50", "energy/op",
+         "sampled p99 max"],
     )
     for r in results:
         table.add_row(
@@ -113,5 +138,6 @@ def format_predictability(results: List[PredictabilityResult]) -> str:
             f"{r.p99 * 1e9:.1f} ns",
             f"{r.jitter_ratio:.3f}",
             f"{r.energy_per_op_j * 1e9:.1f} nJ",
+            f"{r.interval_p99_max * 1e9:.1f} ns ({r.sampled_points} pts)",
         )
     return table.render()

@@ -22,6 +22,7 @@ from repro.hw.nvme import Namespace, NvmeController
 from repro.hw.pcie.link import PcieLink
 from repro.sim import Simulator
 from repro.storage.kvssd import KvSsd, KvSsdClient, KvSsdService
+from repro.telemetry import chrome_trace_json, prometheus_text
 from repro.transport import RpcClient, RpcServer, UdpSocket
 
 
@@ -35,6 +36,11 @@ class TelemetryReport:
     trace: str
     registry: str
     snapshot: bytes
+    #: The same state in standard formats: Prometheus text exposition of
+    #: the registry, Chrome trace-event JSON of the span tree (loadable
+    #: at chrome://tracing or https://ui.perfetto.dev).
+    prometheus: str = ""
+    chrome_trace: str = ""
 
 
 def run_telemetry(preload: int = 8) -> TelemetryReport:
@@ -74,10 +80,13 @@ def run_telemetry(preload: int = 8) -> TelemetryReport:
         trace=sim.tracer.render(),
         registry=sim.telemetry.render(),
         snapshot=sim.telemetry.snapshot_bytes(),
+        prometheus=prometheus_text(sim.telemetry),
+        chrome_trace=chrome_trace_json(sim.tracer),
     )
 
 
 def format_telemetry(report: TelemetryReport) -> str:
+    prom_excerpt = report.prometheus.splitlines()[:6]
     lines = [
         "TEL: one traced kv.get across the CPU-free stack",
         f"  spans: {report.span_count}   "
@@ -88,5 +97,13 @@ def format_telemetry(report: TelemetryReport) -> str:
         "-- metrics registry "
         f"({len(report.snapshot)} canonical snapshot bytes) --",
         report.registry.rstrip("\n"),
+        "",
+        "-- Prometheus exposition "
+        f"({len(report.prometheus.splitlines())} lines, first 6) --",
+        *prom_excerpt,
+        "",
+        "-- Chrome trace JSON: "
+        f"{len(report.chrome_trace)} bytes, load at chrome://tracing "
+        "or https://ui.perfetto.dev --",
     ]
     return "\n".join(lines)

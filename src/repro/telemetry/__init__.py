@@ -18,8 +18,24 @@ Every :class:`repro.sim.Simulator` owns a lazily-created registry
 (``sim.telemetry``) and tracer (``sim.tracer``); every substrate model
 emits into them. The legacy ``*Stats`` dataclasses survive as thin
 read-through facades over registry metrics.
+
+On top of the in-process plane sit the export-and-watch layers:
+
+* :mod:`repro.telemetry.export` — Prometheus text exposition of the
+  registry and Chrome trace-event JSON of the tracer;
+* :mod:`repro.telemetry.timeseries` — a clock-driven :class:`Sampler`
+  snapshotting metrics into ring-buffered :class:`Series` with windowed
+  aggregation (rate/mean/max/quantile);
+* :mod:`repro.telemetry.slo` — declarative :class:`SloRule` objectives
+  evaluated on sampler ticks into a deterministic alert log.
 """
 
+from repro.telemetry.export import (
+    chrome_trace_json,
+    parse_prometheus_text,
+    prometheus_text,
+    trace_events,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -29,6 +45,8 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     percentile,
 )
+from repro.telemetry.slo import SloAlert, SloMonitor, SloRule
+from repro.telemetry.timeseries import Sampler, Series
 from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -42,4 +60,13 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_SPAN",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "chrome_trace_json",
+    "trace_events",
+    "Sampler",
+    "Series",
+    "SloRule",
+    "SloAlert",
+    "SloMonitor",
 ]

@@ -212,8 +212,28 @@ class Histogram(Metric):
         return max(self._samples) if self._samples else 0.0
 
     def quantile(self, fraction: float) -> float:
-        """Exact quantile over every observed sample."""
+        """Exact quantile over every observed sample.
+
+        Raises :class:`ValueError` (naming this histogram's metric path)
+        when nothing has been observed yet: a quantile of an empty sample
+        set is a question with no answer, and silently returning 0.0 hid
+        wiring bugs where an experiment summarized the wrong histogram.
+        """
+        if not self._samples:
+            raise ValueError(
+                f"histogram {self.name}: quantile({fraction}) of an empty "
+                "sample set (no observations recorded)"
+            )
         return percentile(self._samples, fraction)
+
+    def samples_since(self, index: int) -> Tuple[float, ...]:
+        """Samples observed at or after insertion ``index`` (cursor reads).
+
+        The time-series :class:`~repro.telemetry.timeseries.Sampler` keeps
+        a per-histogram cursor and asks only for the fresh tail at each
+        tick, so periodic sampling stays O(new samples), not O(history).
+        """
+        return tuple(self._samples[index:])
 
     def bucket_counts(self) -> List[Tuple[Optional[float], int]]:
         """(upper bound, count) pairs; the last bound is None (overflow)."""
@@ -223,7 +243,7 @@ class Histogram(Metric):
 
     def snapshot_line(self) -> str:
         quantiles = " ".join(
-            f"p{int(f * 100):02d}={self.quantile(f)!r}"
+            f"p{int(f * 100):02d}={percentile(self._samples, f)!r}"
             for f in (0.50, 0.90, 0.99)
         )
         buckets = ",".join(str(c) for c in self._counts)
@@ -408,10 +428,14 @@ class MetricsRegistry:
             else:
                 hist = metric
                 assert isinstance(hist, Histogram)
-                rendered = (
-                    f"count={hist.count} mean={hist.mean:.3g} "
-                    f"p50={hist.quantile(0.5):.3g} p99={hist.quantile(0.99):.3g}"
-                )
+                if hist.count:
+                    rendered = (
+                        f"count={hist.count} mean={hist.mean:.3g} "
+                        f"p50={hist.quantile(0.5):.3g} "
+                        f"p99={hist.quantile(0.99):.3g}"
+                    )
+                else:
+                    rendered = "count=0"
             lines.append(f"{indent}{parts[-1]} = {rendered}")
             previous = parts[:-1]
         return "\n".join(lines)

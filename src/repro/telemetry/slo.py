@@ -1,0 +1,228 @@
+"""Declarative SLO rules evaluated against the time-series sampler.
+
+A rule states an *objective* — a condition that should hold, e.g.
+``eval.chaos.op_latency p99 < 2ms for 10ms`` — and the monitor turns
+sampled violations into a deterministic alert log: an alert **fires**
+once the objective has been violated continuously for the rule's
+``for`` duration, and **resolves** on the first healthy sample after.
+Because evaluation happens on sampler ticks of the simulated clock, the
+alert log obeys the same contract as every other telemetry artifact:
+same seed, byte-identical log.
+
+Rule grammar (one line)::
+
+    <metric path> <stat> <op> <threshold>[unit] [for <duration>[unit]]
+
+where ``stat`` is ``value`` (counters/gauges), ``count``, ``mean``,
+``max``, ``p99`` (histogram series produced by the sampler), or
+``rate`` (the windowed per-second slope of the raw series); ``op`` is
+one of ``< <= > >=``; units are ``ns us ms s`` (durations and
+latency thresholds) or bare numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.telemetry.timeseries import Sampler
+
+__all__ = ["SloRule", "SloAlert", "SloMonitor"]
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_STATS = ("value", "count", "mean", "max", "p99", "rate")
+
+_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def _quantity(text: str) -> float:
+    """``2ms`` -> 0.002; ``150us`` -> 1.5e-4; bare numbers pass through."""
+    for suffix in sorted(_UNITS, key=len, reverse=True):
+        if text.endswith(suffix):
+            head = text[: -len(suffix)]
+            if head:
+                try:
+                    return float(head) * _UNITS[suffix]
+                except ValueError:
+                    break
+    return float(text)
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One objective: a sampled statistic compared against a threshold."""
+
+    name: str
+    path: str
+    stat: str
+    op: str
+    threshold: float
+    for_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stat not in _STATS:
+            raise ConfigurationError(
+                f"SLO {self.name}: unknown stat {self.stat!r} "
+                f"(expected one of {', '.join(_STATS)})"
+            )
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"SLO {self.name}: unknown operator {self.op!r}"
+            )
+        if self.for_duration < 0:
+            raise ConfigurationError(
+                f"SLO {self.name}: negative for-duration"
+            )
+
+    @classmethod
+    def parse(cls, text: str, name: Optional[str] = None) -> "SloRule":
+        """Parse ``"rpc.call.latency p99 < 2ms for 10ms"`` into a rule."""
+        tokens = text.split()
+        if len(tokens) not in (4, 6) or (len(tokens) == 6
+                                         and tokens[4] != "for"):
+            raise ConfigurationError(
+                f"cannot parse SLO rule {text!r}: expected "
+                "'<path> <stat> <op> <threshold> [for <duration>]'"
+            )
+        path, stat, op, threshold = tokens[:4]
+        for_duration = _quantity(tokens[5]) if len(tokens) == 6 else 0.0
+        return cls(
+            name=name if name is not None else text,
+            path=path,
+            stat=stat,
+            op=op,
+            threshold=_quantity(threshold),
+            for_duration=for_duration,
+        )
+
+    @property
+    def series_name(self) -> str:
+        """The sampler series this rule reads."""
+        if self.stat in ("value", "rate"):
+            return self.path
+        return f"{self.path}.{self.stat}"
+
+    def holds(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def describe(self) -> str:
+        tail = (
+            f" for {self.for_duration!r}s" if self.for_duration else ""
+        )
+        return (
+            f"{self.path} {self.stat} {self.op} {self.threshold!r}{tail}"
+        )
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One alert-log entry: a rule fired or resolved at a sampled time."""
+
+    rule: str
+    state: str  # "firing" | "resolved"
+    at: float
+    value: float
+
+    def line(self) -> str:
+        return (
+            f"slo {self.state} rule={self.rule} at={self.at!r} "
+            f"value={self.value!r}"
+        )
+
+
+class SloMonitor:
+    """Evaluates rules on every sampler tick, keeping a breach log.
+
+    Attaching the monitor registers it on ``sampler.on_sample``; a rule
+    whose series has no data yet is simply skipped (no data is neither
+    healthy nor breaching).
+    """
+
+    def __init__(self, sampler: Sampler,
+                 rules: Sequence[SloRule] = ()) -> None:
+        self.sampler = sampler
+        self.rules: List[SloRule] = []
+        self.alerts: List[SloAlert] = []
+        self._violating_since: Dict[str, Optional[float]] = {}
+        self._firing: Dict[str, bool] = {}
+        for rule in rules:
+            self.add(rule)
+        sampler.on_sample.append(self.check)
+
+    def add(self, rule: SloRule) -> "SloMonitor":
+        if any(existing.name == rule.name for existing in self.rules):
+            raise ConfigurationError(f"duplicate SLO rule name {rule.name!r}")
+        self.rules.append(rule)
+        self._violating_since[rule.name] = None
+        self._firing[rule.name] = False
+        return self
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate(self, rule: SloRule) -> Optional[float]:
+        series = self.sampler.series(rule.series_name)
+        if series is None or len(series) == 0:
+            return None
+        if rule.stat == "rate":
+            window = rule.for_duration if rule.for_duration else None
+            return series.rate(window)
+        last = series.last
+        assert last is not None
+        return last[1]
+
+    def check(self, now: float) -> None:
+        """One evaluation pass (normally invoked by the sampler)."""
+        for rule in self.rules:
+            value = self._evaluate(rule)
+            if value is None:
+                continue
+            if rule.holds(value):
+                if self._firing[rule.name]:
+                    self.alerts.append(
+                        SloAlert(rule.name, "resolved", now, value)
+                    )
+                self._firing[rule.name] = False
+                self._violating_since[rule.name] = None
+                continue
+            since = self._violating_since[rule.name]
+            if since is None:
+                since = now
+                self._violating_since[rule.name] = now
+            if not self._firing[rule.name] \
+                    and now - since >= rule.for_duration:
+                self._firing[rule.name] = True
+                self.alerts.append(SloAlert(rule.name, "firing", now, value))
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def firing(self) -> List[str]:
+        """Rules currently in the firing state, sorted by name."""
+        return sorted(name for name, on in self._firing.items() if on)
+
+    def fired_count(self, rule_name: Optional[str] = None) -> int:
+        return sum(
+            1 for alert in self.alerts
+            if alert.state == "firing"
+            and (rule_name is None or alert.rule == rule_name)
+        )
+
+    def alert_log_bytes(self) -> bytes:
+        """The alert log as canonical bytes (same seed => same bytes)."""
+        return "\n".join(alert.line() for alert in self.alerts).encode()
+
+    def summary(self) -> str:
+        """One line per rule: state, fired/resolved counts."""
+        lines = []
+        for rule in self.rules:
+            fired = self.fired_count(rule.name)
+            state = "FIRING" if self._firing[rule.name] else "ok"
+            lines.append(
+                f"{rule.name}: {state} (fired {fired}x) — {rule.describe()}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""The continuous-benchmark harness: canonical artifacts, numbering,
+and direction-aware regression detection."""
+
+import json
+
+from repro.bench import (
+    BenchRun,
+    Delta,
+    Metric,
+    SPECS,
+    compare_payloads,
+    discover_artifacts,
+    publish,
+    run_suite,
+)
+
+
+def _payload(**metric_values):
+    """A minimal one-experiment payload with the given tracked metrics."""
+    return {
+        "format": 1,
+        "seed": None,
+        "experiments": {
+            "ex": {
+                "title": "example",
+                "metrics": {
+                    name: {"value": value, "better": better, "unit": ""}
+                    for name, (value, better) in metric_values.items()
+                },
+            },
+        },
+    }
+
+
+class TestSuite:
+    def test_registry_covers_at_least_ten_experiments(self):
+        assert len(SPECS) >= 10
+        assert len({spec.key for spec in SPECS}) == len(SPECS)
+
+    def test_same_seed_same_canonical_bytes(self):
+        first = run_suite(keys=["e1", "e3"])
+        second = run_suite(keys=["e1", "e3"])
+        assert first.canonical_bytes() == second.canonical_bytes()
+        # The seed enters the payload, so a different seed is a
+        # different artifact even when every metric happens to agree.
+        reseeded = run_suite(seed=99, keys=["e1", "e3"])
+        assert reseeded.canonical_bytes() != first.canonical_bytes()
+
+    def test_wall_clock_never_enters_the_artifact(self):
+        run = run_suite(keys=["e1"])
+        assert run.wall_clock  # measured...
+        text = run.canonical_bytes().decode()
+        payload = json.loads(text)
+        assert "wall_clock" not in text
+        assert set(payload) == {"format", "seed", "experiments"}
+
+    def test_canonical_json_is_sorted(self):
+        run = BenchRun(seed=None, payload=_payload(m=(1.0, "lower")))
+        text = run.canonical_bytes().decode()
+        assert json.loads(text) == run.payload
+        assert text == json.dumps(
+            run.payload, sort_keys=True, indent=2
+        ) + "\n"
+
+
+class TestArtifactHistory:
+    def test_numbering_and_unchanged_detection(self, tmp_path):
+        run = BenchRun(seed=None, payload=_payload(m=(1.0, "lower")))
+        first = publish(run, tmp_path)
+        assert first.written == tmp_path / "BENCH_1.json"
+        assert first.compared_against is None
+        # Identical payload: nothing written, compared against BENCH_1.
+        again = publish(run, tmp_path)
+        assert again.unchanged
+        assert again.written is None
+        assert again.compared_against == tmp_path / "BENCH_1.json"
+        assert discover_artifacts(tmp_path) == [
+            (1, tmp_path / "BENCH_1.json")
+        ]
+        # A changed payload gets the next number.
+        moved = BenchRun(seed=None, payload=_payload(m=(1.1, "lower")))
+        third = publish(moved, tmp_path)
+        assert third.written == tmp_path / "BENCH_2.json"
+        assert [n for n, __ in discover_artifacts(tmp_path)] == [1, 2]
+
+    def test_regression_flags_latency_up_and_throughput_down(self, tmp_path):
+        baseline = BenchRun(seed=None, payload=_payload(
+            latency=(1.0, "lower"), throughput=(100.0, "higher"),
+            note=(5.0, "info"),
+        ))
+        publish(baseline, tmp_path)
+        regressed = BenchRun(seed=None, payload=_payload(
+            latency=(1.5, "lower"),       # +50% on lower-is-better
+            throughput=(70.0, "higher"),  # -30% on higher-is-better
+            note=(50.0, "info"),          # info metrics never regress
+        ))
+        outcome = publish(regressed, tmp_path)
+        assert {(d.metric, d.regressed) for d in outcome.deltas} == {
+            ("latency", True), ("throughput", True),
+        }
+        assert len(outcome.regressions) == 2
+
+    def test_small_moves_and_improvements_do_not_flag(self, tmp_path):
+        baseline = BenchRun(seed=None, payload=_payload(
+            latency=(1.0, "lower"), throughput=(100.0, "higher"),
+        ))
+        publish(baseline, tmp_path)
+        improved = BenchRun(seed=None, payload=_payload(
+            latency=(0.5, "lower"),        # big improvement
+            throughput=(115.0, "higher"),  # +15%: inside the band
+        ))
+        outcome = publish(improved, tmp_path)
+        assert outcome.regressions == []
+        latency = next(d for d in outcome.deltas if d.metric == "latency")
+        assert latency.improved and not latency.regressed
+
+
+class TestCompare:
+    def test_new_experiments_and_metrics_are_skipped(self):
+        old = _payload(kept=(1.0, "lower"))
+        new = _payload(kept=(1.0, "lower"), added=(9.0, "lower"))
+        new["experiments"]["brand-new"] = {
+            "title": "n", "metrics": {"x": {
+                "value": 1.0, "better": "lower", "unit": ""}},
+        }
+        deltas = compare_payloads(old, new)
+        assert [d.metric for d in deltas] == ["kept"]
+
+    def test_zero_baseline_is_not_a_division_crash(self):
+        delta = Delta("ex", "m", old=0.0, new=0.0, better="lower", unit="")
+        assert delta.relative == 0.0 and not delta.regressed
+        grew = Delta("ex", "m", old=0.0, new=1.0, better="lower", unit="")
+        assert grew.relative == float("inf") and grew.regressed
+
+    def test_metric_payload_shape(self):
+        assert Metric(3.0, "lower", "s").payload() == {
+            "value": 3.0, "better": "lower", "unit": "s",
+        }

@@ -1,0 +1,169 @@
+"""Every legacy *Stats facade must keep mirroring the registry while a
+sampler is live on the same registry — sampling is read-only and must
+never perturb (or lag) what the facades report."""
+
+import pytest
+
+from repro.datastruct.lsm import LsmTree
+from repro.dpu.cluster import (
+    DpuKvCluster,
+    FailoverStats,
+    RoutingClient,
+)
+from repro.formats.parquet import ReadStats
+from repro.hw.net import Frame, Network
+from repro.memory.store import StoreStats
+from repro.memory.tiering import TieringStats
+from repro.sim import ManualClock, Simulator
+from repro.telemetry import MetricsRegistry, Sampler
+
+
+def _sampled(registry, clock, *prefixes):
+    sampler = Sampler(registry, clock)
+    for prefix in prefixes:
+        sampler.watch_prefix(prefix)
+    return sampler
+
+
+def _tick(clock, sampler):
+    clock.advance(1e-3)
+    sampler.sample()
+
+
+class TestScopeBackedFacades:
+    """Facades that hold live counters: mutate, sample, compare."""
+
+    def test_store_stats(self):
+        reg = MetricsRegistry()
+        clock = ManualClock()
+        sampler = _sampled(reg, clock, "memory.store")
+        stats = StoreStats(reg.scope("memory.store"))
+        stats.allocations += 2
+        stats.reads += 3
+        stats.writes += 1
+        _tick(clock, sampler)
+        assert stats.allocations == \
+            reg.counter("memory.store.allocations").value == 2
+        assert sampler.series("memory.store.reads").last[1] == 3.0
+        stats.reads += 1  # mutation after sampling still reads through
+        assert reg.counter("memory.store.reads").value == 4
+
+    def test_lsm_stats(self):
+        reg = MetricsRegistry()
+        clock = ManualClock()
+        sampler = _sampled(reg, clock, "lsm")
+        tree = LsmTree(memtable_limit=4, metrics=reg.scope("lsm"))
+        for index in range(16):
+            tree.put(f"k{index:02d}".encode(), b"v")
+        _tick(clock, sampler)
+        assert tree.stats.flushes == reg.counter("lsm.flushes").value > 0
+        assert tree.stats.compactions == reg.counter("lsm.compactions").value
+        assert tree.stats.bytes_compacted == \
+            reg.counter("lsm.bytes_compacted").value
+        assert sampler.series("lsm.flushes").last[1] == \
+            float(tree.stats.flushes)
+
+    def test_failover_stats(self):
+        reg = MetricsRegistry()
+        clock = ManualClock()
+        sampler = _sampled(reg, clock, "dpu.failover")
+        stats = FailoverStats(reg.scope("dpu.failover"))
+        stats.reads += 5
+        stats.failovers += 1
+        stats.replica_failures += 2
+        stats.marked_down.add("kv-dpu-1")
+        _tick(clock, sampler)
+        assert stats.reads == reg.counter("dpu.failover.reads").value == 5
+        assert stats.failovers == \
+            reg.counter("dpu.failover.failovers").value == 1
+        # The marked-down set mirrors its size into a gauge the sampler sees.
+        assert reg.gauge("dpu.failover.marked_down").value == 1.0
+        assert sampler.series("dpu.failover.marked_down").last[1] == 1.0
+        stats.marked_down.discard("kv-dpu-1")
+        assert reg.gauge("dpu.failover.marked_down").value == 0.0
+
+    def test_tiering_stats(self):
+        reg = MetricsRegistry()
+        clock = ManualClock()
+        sampler = _sampled(reg, clock, "memory.tiering")
+        stats = TieringStats(reg.scope("memory.tiering"))
+        stats.epochs += 2
+        stats.promotions += 4
+        stats.demotions += 1
+        _tick(clock, sampler)
+        assert stats.epochs == reg.counter("memory.tiering.epochs").value == 2
+        assert stats.promotions == \
+            reg.counter("memory.tiering.promotions").value == 4
+        assert sampler.series("memory.tiering.demotions").last[1] == 1.0
+
+    def test_read_stats(self):
+        reg = MetricsRegistry()
+        clock = ManualClock()
+        sampler = _sampled(reg, clock, "formats.read")
+        stats = ReadStats(reg.scope("formats.read"))
+        stats.bytes_read += 4096
+        stats.chunks_read += 2
+        stats.row_groups_skipped += 1
+        _tick(clock, sampler)
+        assert stats.bytes_read == \
+            reg.counter("formats.read.bytes_read").value == 4096
+        assert sampler.series("formats.read.bytes_read").last[1] == 4096.0
+
+
+class TestSnapshotFacades:
+    """Facades assembled from the registry at stats() time, exercised
+    through their real subsystems with a sampler running alongside."""
+
+    def test_link_and_port_stats(self):
+        sim = Simulator()
+        sampler = _sampled(sim.telemetry, sim, "net")
+        network = Network(sim)
+        a = network.endpoint("a")
+        network.endpoint("b")
+
+        def send():
+            for __ in range(3):
+                yield from a.send(Frame("a", "b", None, payload_size=100))
+            sampler.sample()
+
+        sim.run_process(send())
+        stats = a.stats()
+        assert stats.tx.frames_sent == 3
+        assert stats.tx.frames_sent == \
+            sim.telemetry.counter("net.link.a.up.frames_sent").value
+        assert stats.tx.bytes_sent == \
+            sim.telemetry.counter("net.link.a.up.bytes_sent").value
+        sent = sampler.series("net.link.a.up.frames_sent")
+        assert sent is not None and sent.last[1] == 3.0
+
+    def test_cluster_stats(self):
+        sim = Simulator()
+        sampler = _sampled(sim.telemetry, sim, "kvssd")
+        network = Network(sim)
+        cluster = DpuKvCluster(sim, network, dpu_count=2, ssd_blocks=4096)
+        client = RoutingClient(sim, network, "host", cluster)
+
+        def workload():
+            for index in range(6):
+                key = f"key:{index}".encode()
+                yield from client.put(key, b"v")
+                value = yield from client.get(key)
+                assert value == b"v"
+            sampler.sample()
+
+        sim.run_process(workload())
+        stats = cluster.stats()
+        assert stats.routed_ops == 12
+        registry_total = sum(
+            sim.telemetry.counter(f"kvssd.{address}-flash.{op}").value
+            for address in cluster.addresses
+            for op in ("gets", "puts")
+        )
+        assert stats.routed_ops == registry_total
+        assert sum(stats.per_dpu_ops.values()) == registry_total
+        sampled_total = sum(
+            sampler.series(name).last[1]
+            for name in sampler.names()
+            if name.endswith(".gets") or name.endswith(".puts")
+        )
+        assert sampled_total == pytest.approx(float(registry_total))

@@ -133,6 +133,26 @@ class TestHistogramQuantiles:
             h.observe(value)
         assert sum(count for __, count in h.bucket_counts()) == h.count == 5
 
+    def test_empty_quantile_raises_naming_the_metric(self):
+        """A quantile of nothing is a bug in the caller, not 0.0 — and the
+        error must say which histogram so the bug is findable."""
+        h = Histogram("rpc.client.dpu0.call_latency")
+        with pytest.raises(ValueError) as exc:
+            h.quantile(0.99)
+        assert "rpc.client.dpu0.call_latency" in str(exc.value)
+        assert "empty" in str(exc.value)
+        # One observation later the same call works.
+        h.observe(1e-6)
+        assert h.quantile(0.99) == 1e-6
+
+    def test_empty_histogram_still_renders(self):
+        """The raise must not leak into canonical rendering paths: an
+        empty histogram snapshots and renders as count=0."""
+        reg = MetricsRegistry()
+        reg.histogram("quiet.lat")
+        assert b"quiet.lat" in reg.snapshot_bytes()
+        assert "count=0" in reg.render()
+
 
 class TestTracer:
     def test_disabled_returns_null_span(self):
