@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-tables bench-report eval chaos examples all
+.PHONY: install test lint bench bench-tables bench-report eval chaos overload examples all
 
 install:
 	pip install -e .
@@ -38,6 +38,13 @@ eval:
 chaos:
 	python -m repro.eval e13
 	pytest tests/test_faults.py -q
+
+# E15 overload evaluation: an open-loop load ramp with the protection
+# stack (bounded queues, admission, breakers, brownout) off vs on. The
+# overload unit tests also run under tier-1 `make test`.
+overload:
+	python -m repro.eval e15
+	pytest tests/test_overload.py -q
 
 examples:
 	@for ex in examples/*.py; do \

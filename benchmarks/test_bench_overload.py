@@ -1,0 +1,52 @@
+"""E15 bench: overload controls turn congestion collapse into brownout.
+
+The blueprint's wimpy-core datapath has no spare capacity to hide behind:
+once offered load passes the service rate, an unbounded queue plus
+at-least-once retransmission is a metastable failure — goodput collapses
+even though the server never idles. Expected shape: the uncontrolled
+variant collapses well below half of its peak goodput at 3x capacity,
+while the controlled variant (bounded CoDel queue, AIMD admission,
+retry budget, SLO-driven brownout) holds >= 90% of its peak goodput at
+2x capacity with p99 bounded by the client timeout budget — and the
+whole report, brownout transition log included, is byte-identical per
+seed.
+"""
+
+from conftest import emit
+
+from repro.eval.overload import format_overload, run_overload
+
+
+def test_bench_overload_brownout(benchmark):
+    report = benchmark.pedantic(run_overload, rounds=1, iterations=1)
+    emit(format_overload(report))
+    # Uncontrolled: goodput collapses past saturation.
+    assert report.uncontrolled_collapse_ratio < 0.5
+    # Controlled: flat goodput at 2x the service capacity...
+    assert report.goodput_retention_at_2x >= 0.90
+    # ...with the tail bounded by the client's retry budget, not the queue.
+    p99_at_2x = next(
+        p.p99_latency for p in report.controlled if p.multiple == 2.0
+    )
+    assert p99_at_2x < 5e-3
+    # The protection actually engaged: shedding and brownout both fired.
+    assert any(p.server_shed > 0 for p in report.controlled)
+    assert report.brownout_transitions > 0
+
+
+def test_bench_overload_sheds_scrub_before_user(benchmark):
+    report = benchmark.pedantic(run_overload, rounds=1, iterations=1)
+    top = report.controlled[-1]
+    # Priority classes: at top load, scrub traffic is shed at a higher
+    # rate than user traffic (60/20/20 arrival split, so compare rates).
+    assert top.shed_scrub > 0
+    assert top.shed_scrub * 3 > top.shed_user
+
+
+def test_bench_overload_reproducible(benchmark):
+    first = benchmark.pedantic(run_overload, rounds=1, iterations=1)
+    second = run_overload()
+    assert first.canonical_bytes() == second.canonical_bytes()
+    assert len(first.brownout_log) > 0
+    assert first.telemetry == second.telemetry
+    assert first.series == second.series

@@ -43,6 +43,7 @@ from repro.eval.efficiency import run_efficiency
 from repro.eval.fail2ban import run_fail2ban
 from repro.eval.kvssd import run_kvssd
 from repro.eval.loadbalancer import run_loadbalancer
+from repro.eval.overload import run_overload
 from repro.eval.p2pdma import run_p2pdma
 from repro.eval.pointer_chase import run_pointer_chase
 from repro.eval.predictability import run_predictability
@@ -233,6 +234,25 @@ def _chaos_metrics(report) -> Dict[str, Metric]:
     }
 
 
+def _overload_metrics(report) -> Dict[str, Metric]:
+    return {
+        "goodput_at_2x_ops": Metric(report.goodput_at_2x, HIGHER, "ops/s"),
+        "goodput_retention_at_2x": Metric(
+            report.goodput_retention_at_2x, HIGHER, "frac"),
+        "controlled_p99_at_2x_s": Metric(
+            next(p.p99_latency for p in report.controlled
+                 if p.multiple == 2.0), LOWER, "s"),
+        "uncontrolled_collapse_ratio": Metric(
+            report.uncontrolled_collapse_ratio, INFO, "frac"),
+        "brownout_transitions": Metric(
+            report.brownout_transitions, INFO, "count"),
+        "slo_alerts_fired": Metric(report.slo_alerts_fired, INFO, "alerts"),
+        "brownout_log_digest": Metric(0.0, INFO, _digest(report.brownout_log)),
+        "report_digest": Metric(0.0, INFO, _digest(report.canonical_bytes())),
+        "telemetry_digest": Metric(0.0, INFO, _digest(report.telemetry)),
+    }
+
+
 def _p2pdma_metrics(points) -> Dict[str, Metric]:
     hyperion = [p for p in points if p.path == "hyperion"]
     largest = max(hyperion, key=lambda p: p.transfer_size)
@@ -281,6 +301,8 @@ SPECS: Tuple[BenchSpec, ...] = (
               run_kvssd, _kvssd_metrics),
     BenchSpec("e13", "chaos storm + replicated failover",
               run_chaos, _chaos_metrics, seeded=True),
+    BenchSpec("e15", "overload: collapse vs graceful brownout",
+              run_overload, _overload_metrics, seeded=True),
     BenchSpec("p2p", "NIC->SSD bounce vs P2P DMA vs Hyperion",
               run_p2pdma, _p2pdma_metrics),
     BenchSpec("telemetry", "unified telemetry plane",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.common.errors import ConfigurationError, DegradedError
+from repro.overload.breaker import CircuitBreaker, CircuitOpenError
 from repro.telemetry import MetricScope
 from repro.hw.net import Network
 from repro.hw.nvme import Namespace, NvmeController
@@ -252,6 +253,13 @@ class FailoverKvClient:
     again. Every RPC carries a timeout, bounded retries with exponential
     backoff + jitter, and an overall deadline, so a dead DPU costs a few
     retransmit intervals — never a hung simulation.
+
+    Each replica is additionally guarded by a
+    :class:`~repro.overload.CircuitBreaker`: after a few consecutive
+    failed calls the circuit opens and further calls to that replica are
+    refused *instantly* — an immediate failover down the chain instead
+    of burning the per-call deadline re-timing-out against a corpse. A
+    successful :meth:`probe` closes the circuit again.
     """
 
     def __init__(
@@ -264,6 +272,8 @@ class FailoverKvClient:
         retries: int = 1,
         deadline: float = 50e-3,
         policy: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_timeout: Optional[float] = None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -278,19 +288,36 @@ class FailoverKvClient:
         self.health: Dict[str, bool] = {
             address: True for address in cluster.addresses
         }
-        self.stats = FailoverStats(
-            sim.telemetry.unique_scope(f"dpu.failover.{name}")
-        )
+        scope = sim.telemetry.unique_scope(f"dpu.failover.{name}")
+        self.stats = FailoverStats(scope)
+        if breaker_reset_timeout is None:
+            breaker_reset_timeout = timeout * 20
+        self.breakers: Dict[str, CircuitBreaker] = {
+            address: CircuitBreaker(
+                sim, scope.scope(f"breaker.{address}"),
+                failure_threshold=breaker_failure_threshold,
+                reset_timeout=breaker_reset_timeout,
+            )
+            for address in cluster.addresses
+        }
 
     # -- internals -----------------------------------------------------------
     def _call(self, address: str, method: str, *args,
               request_size: int = 64, response_size: int = 64):
-        result = yield from self.rpc.call(
-            address, method, *args,
-            request_size=request_size, response_size=response_size,
-            timeout=self.timeout, retries=self.retries,
-            deadline=self.deadline, policy=self.policy,
-        )
+        breaker = self.breakers[address]
+        if not breaker.allow():
+            raise CircuitOpenError(f"{method} to {address}: circuit open")
+        try:
+            result = yield from self.rpc.call(
+                address, method, *args,
+                request_size=request_size, response_size=response_size,
+                timeout=self.timeout, retries=self.retries,
+                deadline=self.deadline, policy=self.policy,
+            )
+        except RpcError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
         return result
 
     def _ordered_replicas(self, key: bytes) -> List[str]:
@@ -308,7 +335,13 @@ class FailoverKvClient:
 
     # -- health probing ------------------------------------------------------
     def probe(self, address: str):
-        """Process: one health probe; updates the health map."""
+        """Process: one health probe; updates the health map.
+
+        Probes bypass the breaker (they *are* the recovery mechanism): a
+        verified success closes an open circuit immediately, a failed
+        probe counts as breaker evidence like any failed call.
+        """
+        breaker = self.breakers[address]
         try:
             yield from self.rpc.call(
                 address, "kv.ping", request_size=16, response_size=16,
@@ -316,8 +349,10 @@ class FailoverKvClient:
             )
         except RpcError:
             self._mark_down(address)
+            breaker.record_failure()
             return False
         self.health[address] = True
+        breaker.record_success()
         return True
 
     def probe_all(self):
@@ -341,6 +376,8 @@ class FailoverKvClient:
                     address, "kv.put", key, value,
                     request_size=32 + len(key) + len(value), response_size=16,
                 )
+            except CircuitOpenError:
+                continue  # open circuit: fail over instantly, spend nothing
             except RpcError as error:
                 self._mark_down(address)
                 last_error = error
@@ -368,6 +405,8 @@ class FailoverKvClient:
                     request_size=32 + len(key),
                     response_size=expected_value_size,
                 )
+            except CircuitOpenError:
+                continue  # open circuit: fail over instantly, spend nothing
             except RpcError as error:
                 self._mark_down(address)
                 last_error = error
@@ -390,6 +429,8 @@ class FailoverKvClient:
                     address, "kv.delete", key,
                     request_size=32 + len(key), response_size=16,
                 )
+            except CircuitOpenError:
+                continue  # open circuit: fail over instantly, spend nothing
             except RpcError:
                 self._mark_down(address)
                 continue

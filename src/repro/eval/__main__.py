@@ -22,6 +22,7 @@ from repro.eval.fail2ban import format_fail2ban, run_fail2ban
 from repro.eval.figures import format_figures, run_figures
 from repro.eval.kvssd import format_kvssd, run_kvssd
 from repro.eval.loadbalancer import format_loadbalancer, run_loadbalancer
+from repro.eval.overload import format_overload, run_overload
 from repro.eval.pointer_chase import format_pointer_chase, run_pointer_chase
 from repro.eval.predictability import format_predictability, run_predictability
 from repro.eval.reconfig import format_reconfig, run_reconfig
@@ -80,6 +81,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[Optional[int]], str]]] = {
             _unseeded(run_kvssd, format_kvssd)),
     "e13": ("E13: chaos storm + replicated failover",
             _seeded(run_chaos, format_chaos)),
+    "e15": ("E15: overload — congestion collapse vs graceful brownout",
+            _seeded(run_overload, format_overload)),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
             _unseeded(run_p2pdma, format_p2pdma)),
     "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",

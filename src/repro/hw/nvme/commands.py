@@ -25,6 +25,7 @@ class NvmeStatus(enum.Enum):
     INVALID_OPCODE = 0x1
     COMMAND_ABORTED = 0x07
     LBA_OUT_OF_RANGE = 0x80
+    QUEUE_FULL = 0x86  # submission refused: bounded queue at capacity
     ZONE_FULL = 0xB9
     ZONE_INVALID_WRITE = 0xBC
     UNRECOVERED_READ_ERROR = 0x281  # media error SCT, injected or real

@@ -18,7 +18,9 @@ from repro.hw.nvme.namespace import LBA_SIZE, Namespace
 from repro.hw.nvme.zns import ZonedNamespace
 from repro.hw.pcie.device import Bar, PcieDevice
 from repro.hw.pcie.link import PcieLink
+from repro.overload.queues import BoundedQueue, QueuePolicy
 from repro.sim import Event, Simulator, Store
+from repro.telemetry import MetricScope
 
 #: Firmware command decode + completion posting overhead.
 CONTROLLER_LATENCY = 2e-6
@@ -31,24 +33,73 @@ AnyNamespace = Union[Namespace, ZonedNamespace]
 
 
 class NvmeQueuePair:
-    """One submission/completion queue pair with bounded depth."""
+    """One submission/completion queue pair with bounded depth.
 
-    def __init__(self, sim: Simulator, qid: int, depth: int = 256):
+    The legacy mode (``policy=None``) keeps the blocking
+    :class:`~repro.sim.Store` submission path: a full queue stalls the
+    submitter — an *implicit unbounded queue* of blocked putter state.
+    With a :class:`~repro.overload.QueuePolicy`, submission goes through
+    a :class:`~repro.overload.BoundedQueue` instead: a full queue
+    completes the command immediately with ``QUEUE_FULL`` (the host sees
+    backpressure, not a stall), and the CoDel policy aborts commands
+    whose queueing delay went stale before execution.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qid: int,
+        depth: int = 256,
+        policy: Optional[QueuePolicy] = None,
+        metrics: Optional[MetricScope] = None,
+        codel_target: float = 200e-6,
+        codel_interval: float = 1e-3,
+    ):
         self.sim = sim
         self.qid = qid
         self.depth = depth
-        self.sq: Store = Store(sim, capacity=depth)
+        self.policy = policy
+        self.sq: Optional[Store] = None
+        self.queue: Optional[BoundedQueue] = None
+        if policy is None:
+            self.sq = Store(sim, capacity=depth)
+        else:
+            if metrics is None:
+                metrics = MetricScope.standalone(f"nvme.qp{qid}")
+            self.queue = BoundedQueue(
+                sim, metrics, depth, policy=policy,
+                codel_target=codel_target, codel_interval=codel_interval,
+                on_drop=self._on_drop,
+            )
         self._waiters: Dict[int, Event] = {}
 
     def submit(self, command: NvmeCommand) -> Event:
         """Queue a command; the returned event fires with its completion."""
         done = Event(self.sim)
         self._waiters[command.cid] = done
-        self.sim.process(self._enqueue(command))
+        if self.queue is not None:
+            # try_put completes the command with QUEUE_FULL via _on_drop
+            # when at capacity — the submitter never blocks.
+            self.queue.try_put(command)
+        else:
+            self.sim.process(self._enqueue(command))
         return done
 
     def _enqueue(self, command: NvmeCommand):
         yield self.sq.put(command)
+
+    def _on_drop(self, command: NvmeCommand, reason: str) -> None:
+        status = (
+            NvmeStatus.QUEUE_FULL if reason == "full"
+            else NvmeStatus.COMMAND_ABORTED
+        )
+        self.complete(NvmeCompletion(command.cid, status))
+
+    def next_command(self) -> Event:
+        """Event firing with the next submitted command (either mode)."""
+        if self.queue is not None:
+            return self.queue.get()
+        return self.sq.get()
 
     def complete(self, completion: NvmeCompletion) -> None:
         waiter = self._waiters.pop(completion.cid, None)
@@ -69,6 +120,7 @@ class NvmeController(PcieDevice):
         link: Optional[PcieLink] = None,
         queue_depth: int = 256,
         injector: Optional[FaultInjector] = None,
+        queue_policy: Optional[QueuePolicy] = None,
     ):
         super().__init__(name, bars=[Bar(16 * 1024)])
         self.sim = sim
@@ -79,6 +131,7 @@ class NvmeController(PcieDevice):
         self.link = link
         self.queue_pairs: List[NvmeQueuePair] = []
         self._queue_depth = queue_depth
+        self._queue_policy = queue_policy
         self.injector = injector
         self._metrics = sim.telemetry.unique_scope(name)
         self._commands_executed = self._metrics.counter("commands_executed")
@@ -115,7 +168,15 @@ class NvmeController(PcieDevice):
         self.namespaces[namespace.namespace_id] = namespace
 
     def create_queue_pair(self) -> NvmeQueuePair:
-        qp = NvmeQueuePair(self.sim, qid=len(self.queue_pairs), depth=self._queue_depth)
+        qid = len(self.queue_pairs)
+        metrics = (
+            self._metrics.scope(f"qp{qid}")
+            if self._queue_policy is not None else None
+        )
+        qp = NvmeQueuePair(
+            self.sim, qid=qid, depth=self._queue_depth,
+            policy=self._queue_policy, metrics=metrics,
+        )
         self.queue_pairs.append(qp)
         if self._started:
             self.sim.process(self._queue_loop(qp))
@@ -131,7 +192,7 @@ class NvmeController(PcieDevice):
 
     def _queue_loop(self, qp: NvmeQueuePair):
         while True:
-            command = yield qp.sq.get()
+            command = yield qp.next_command()
             # Dispatch without waiting: NVMe executes queued commands in
             # parallel across flash dies.
             self.sim.process(self._execute(qp, command))

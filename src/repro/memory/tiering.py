@@ -16,13 +16,15 @@ whoever owns the control loop (the OS-shell, a timer process, a test).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import CapacityError
 from repro.common.ids import ObjectId
 from repro.faults import FaultInjector, FaultKind
 from repro.memory.segments import Segment, SegmentLocation
 from repro.memory.store import SingleLevelStore
+from repro.overload.breaker import CircuitBreaker
+from repro.overload.queues import BoundedQueue, QueuePolicy
 from repro.telemetry import MetricScope
 
 
@@ -90,7 +92,22 @@ class TieringStats:
 
 
 class TieringPolicy:
-    """Epoch-based promotion/demotion over a :class:`SingleLevelStore`."""
+    """Epoch-based promotion/demotion over a :class:`SingleLevelStore`.
+
+    Promotion backlog is an explicit :class:`~repro.overload.BoundedQueue`
+    of hot candidates: each epoch's scan enqueues, the move budget drains.
+    The old behaviour was an implicit unbounded queue — unpromoted hot
+    segments were silently rediscovered every epoch — which hid how far
+    behind the mover was. Now the backlog has a depth gauge and a drop
+    counter, and under a move-budget crunch the oldest candidates are
+    shed visibly instead of accumulating.
+
+    Each fast tier is also guarded by a
+    :class:`~repro.overload.CircuitBreaker`: repeated ``CapacityError``
+    promotions trip the breaker, and while it is open the policy degrades
+    (HBM -> DRAM -> stay-on-flash) without re-attempting the full tier —
+    the same ladder BACKEND_DOWN fault windows trigger.
+    """
 
     def __init__(
         self,
@@ -102,6 +119,9 @@ class TieringPolicy:
         max_moves_per_epoch: int = 16,
         injector: Optional[FaultInjector] = None,
         component: str = "tiering",
+        promotion_queue_capacity: int = 64,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_timeout: float = 100e-3,
     ):
         self.store = store
         self.hot_threshold = hot_threshold
@@ -111,10 +131,29 @@ class TieringPolicy:
         self.max_moves_per_epoch = max_moves_per_epoch
         self.injector = injector
         self.component = component
-        self.stats = TieringStats(
-            store.sim.telemetry.unique_scope(f"memory.{component}")
-        )
+        self._metrics = store.sim.telemetry.unique_scope(f"memory.{component}")
+        self.stats = TieringStats(self._metrics)
         self._last_counts: Dict[ObjectId, int] = {}
+        #: Hot candidates awaiting a move-budget slot: (segment, accesses).
+        self.promotion_queue = BoundedQueue(
+            store.sim, self._metrics.scope("queue"),
+            promotion_queue_capacity, policy=QueuePolicy.FIFO,
+            on_drop=self._on_queue_drop,
+        )
+        self._queued: Set[ObjectId] = set()
+        self.breakers: Dict[SegmentLocation, CircuitBreaker] = {}
+        for tier in (SegmentLocation.HBM, SegmentLocation.DRAM):
+            if tier is SegmentLocation.HBM and store.hbm is None:
+                continue
+            self.breakers[tier] = CircuitBreaker(
+                store.sim, self._metrics.scope(f"breaker.{tier.value}"),
+                failure_threshold=breaker_failure_threshold,
+                reset_timeout=breaker_reset_timeout,
+            )
+
+    def _on_queue_drop(self, entry: Tuple[Segment, int], reason: str) -> None:
+        segment, __ = entry
+        self._queued.discard(segment.oid)
 
     # -- internals -------------------------------------------------------------
     def _epoch_accesses(self, segment: Segment) -> int:
@@ -145,42 +184,76 @@ class TieringPolicy:
                 return tier
         return None
 
+    def _promotion_target(self):
+        """The best tier that is fault-free *and* whose breaker admits an
+        attempt; returns ``(tier, breaker)`` or ``(None, None)``."""
+        preferred = SegmentLocation.HBM if self.prefer_hbm else SegmentLocation.DRAM
+        for tier in dict.fromkeys((preferred, SegmentLocation.DRAM)):
+            if not self._tier_up(tier):
+                continue
+            breaker = self.breakers.get(tier)
+            if breaker is not None and not breaker.allow():
+                continue
+            return tier, breaker
+        return None, None
+
     # -- the policy ------------------------------------------------------------
     def run_epoch(self) -> List[TieringDecision]:
         """Inspect counters since the last epoch and migrate segments."""
         decisions: List[TieringDecision] = []
         moves = 0
+        preferred = (
+            SegmentLocation.HBM if self.prefer_hbm else SegmentLocation.DRAM
+        )
 
-        # Promotions: hot flash-resident, non-durable segments move up.
+        # Scan: hot flash-resident, non-durable segments join the backlog.
         for segment in list(self.store.segments_at(SegmentLocation.NVME)):
-            if moves >= self.max_moves_per_epoch:
-                break
             if segment.durable:
                 continue  # durability pins segments to flash (paper §2.1)
+            if segment.oid in self._queued:
+                continue
             accesses = self._epoch_accesses(segment)
             if accesses >= self.hot_threshold:
-                target = self._fast_tier()
-                if target is None:
-                    # Every fast tier is down: serve from flash this epoch.
-                    self.stats.degraded += 1
-                    continue
-                if target is not (
-                    SegmentLocation.HBM if self.prefer_hbm
-                    else SegmentLocation.DRAM
-                ):
-                    self.stats.degraded += 1
-                try:
-                    self.store.promote(segment.oid, target)
-                except CapacityError:
-                    # Target tier full: stay on flash rather than fail.
-                    self.stats.degraded += 1
-                    continue
-                decisions.append(
-                    TieringDecision(segment.oid, SegmentLocation.NVME,
-                                    target, accesses)
-                )
-                self.stats.promotions += 1
-                moves += 1
+                if self.promotion_queue.try_put((segment, accesses)):
+                    self._queued.add(segment.oid)
+
+        # Drain: the move budget serves the backlog oldest-first.
+        while moves < self.max_moves_per_epoch:
+            entry = self.promotion_queue.poll()
+            if entry is None:
+                break
+            segment, accesses = entry
+            self._queued.discard(segment.oid)
+            if (segment.oid not in self.store.table
+                    or segment.location is not SegmentLocation.NVME):
+                continue  # freed or already moved since it was queued
+            target, breaker = self._promotion_target()
+            if target is None:
+                # Every fast tier is down or circuit-open: serve from
+                # flash and hold the backlog until one recovers.
+                self.stats.degraded += 1
+                if self.promotion_queue.try_put((segment, accesses)):
+                    self._queued.add(segment.oid)
+                break
+            if target is not preferred:
+                self.stats.degraded += 1
+            try:
+                self.store.promote(segment.oid, target)
+            except CapacityError:
+                # Target tier full: stay on flash rather than fail. The
+                # breaker turns a persistently full tier into a fast skip.
+                if breaker is not None:
+                    breaker.record_failure()
+                self.stats.degraded += 1
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            decisions.append(
+                TieringDecision(segment.oid, SegmentLocation.NVME,
+                                target, accesses)
+            )
+            self.stats.promotions += 1
+            moves += 1
 
         # Demotions: under DRAM pressure, idle segments move down.
         if self._dram_pressure() > self.dram_high_watermark:

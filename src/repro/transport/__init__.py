@@ -11,7 +11,13 @@ from repro.transport.udp import UdpSocket
 from repro.transport.tcp import TcpStack, TcpConnection
 from repro.transport.rdma import RdmaNic, MemoryRegion
 from repro.transport.homa import HomaSocket
-from repro.transport.rpc import RetryPolicy, RpcClient, RpcServer, RpcError
+from repro.transport.rpc import (
+    RetryBudget,
+    RetryPolicy,
+    RpcClient,
+    RpcServer,
+    RpcError,
+)
 
 __all__ = [
     "UdpSocket",
@@ -23,5 +29,6 @@ __all__ = [
     "RpcClient",
     "RpcServer",
     "RpcError",
+    "RetryBudget",
     "RetryPolicy",
 ]

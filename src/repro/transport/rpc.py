@@ -11,17 +11,78 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.common.errors import ConfigurationError, ProtocolError
+from repro.overload.admission import AdmissionController, Priority
+from repro.overload.queues import BoundedQueue, QueuePolicy
 from repro.sim import Event, Simulator
+from repro.telemetry import MetricScope
 
 RPC_HEADER = 16
 
 
 class RpcError(ProtocolError):
     """A remote handler raised, or the method does not exist."""
+
+
+class RetryBudget:
+    """A shared cap on retransmissions per sliding window across calls.
+
+    Per-call retry limits bound one client process, but during an outage
+    *every* concurrent call retries at once, multiplying offered load by
+    ``1 + retries`` exactly when the system can least afford it. A
+    budget shared across an :class:`RpcClient`'s calls caps the total
+    retransmissions granted inside a trailing window; once spent, calls
+    fail fast instead of amplifying the storm (the spirit of
+    retry-budget designs in production RPC stacks).
+    """
+
+    def __init__(self, clock, budget: int, window: float,
+                 metrics: Optional[MetricScope] = None):
+        if budget < 1:
+            raise ConfigurationError("retry budget must be >= 1")
+        if window <= 0:
+            raise ConfigurationError("retry budget window must be positive")
+        self.clock = clock
+        self.budget = budget
+        self.window = window
+        self._spends: Deque[float] = deque()
+        metrics = (
+            metrics if metrics is not None
+            else MetricScope.standalone("rpc.retry_budget")
+        )
+        self._granted = metrics.counter("granted")
+        self._exhausted = metrics.counter("exhausted")
+
+    @property
+    def granted(self) -> int:
+        return self._granted.value
+
+    @property
+    def exhausted(self) -> int:
+        return self._exhausted.value
+
+    def remaining(self) -> int:
+        self._expire()
+        return self.budget - len(self._spends)
+
+    def _expire(self) -> None:
+        now = self.clock.now
+        while self._spends and now - self._spends[0] > self.window:
+            self._spends.popleft()
+
+    def try_spend(self) -> bool:
+        """Grant one retransmission, or refuse if the window is spent."""
+        self._expire()
+        if len(self._spends) < self.budget:
+            self._spends.append(self.clock.now)
+            self._granted.inc()
+            return True
+        self._exhausted.inc()
+        return False
 
 
 @dataclass(frozen=True)
@@ -66,6 +127,9 @@ class RpcRequest:
     method: str
     args: tuple
     response_size: int
+    #: Load-shedding class (:class:`repro.overload.Priority` value):
+    #: 0 = user, higher = shed earlier under overload.
+    priority: int = 0
 
 
 @dataclass
@@ -107,9 +171,29 @@ class RpcServer:
     (a simulation process, e.g. one that performs NVMe commands); generator
     handlers are driven to completion before the response is sent — the
     "run-to-completion data path" of §2.4.
+
+    By default every incoming request is dispatched concurrently — an
+    *implicit unbounded queue* of in-flight handlers. Passing
+    ``queue_capacity`` switches the server to overload-protected mode: a
+    :class:`~repro.overload.BoundedQueue` (FIFO/LIFO/CoDel) feeds a pool
+    of ``workers`` run-to-completion worker processes (the wimpy-core
+    datapath), excess requests are refused with an immediate cheap error
+    response (backpressure the client sees instead of a timeout), and an
+    optional :class:`~repro.overload.AdmissionController` sheds traffic
+    by priority class before it costs any queue slot.
     """
 
-    def __init__(self, sim: Simulator, socket: Any):
+    def __init__(
+        self,
+        sim: Simulator,
+        socket: Any,
+        admission: Optional[AdmissionController] = None,
+        queue_capacity: Optional[int] = None,
+        queue_policy: QueuePolicy = QueuePolicy.FIFO,
+        workers: int = 1,
+        codel_target: float = 5e-3,
+        codel_interval: float = 10e-3,
+    ):
         self.sim = sim
         self.transport = _DatagramAdapter(socket)
         self._handlers: Dict[str, Callable] = {}
@@ -117,11 +201,29 @@ class RpcServer:
             f"rpc.server.{self.transport.address}"
         )
         self._requests_served = self._metrics.counter("requests_served")
+        self._shed = self._metrics.counter("requests_shed")
+        self.admission = admission
+        self.queue: Optional[BoundedQueue] = None
+        if queue_capacity is not None:
+            if workers < 1:
+                raise ConfigurationError("need at least one worker")
+            self.queue = BoundedQueue(
+                sim, self._metrics.scope("queue"), queue_capacity,
+                policy=queue_policy, codel_target=codel_target,
+                codel_interval=codel_interval, on_drop=self._on_queue_drop,
+            )
+            for __ in range(workers):
+                sim.process(self._worker_loop())
         sim.process(self._serve_loop())
 
     @property
     def requests_served(self) -> int:
         return self._requests_served.value
+
+    @property
+    def requests_shed(self) -> int:
+        """Requests refused by admission control or queue drops."""
+        return self._shed.value
 
     @property
     def address(self) -> str:
@@ -132,11 +234,51 @@ class RpcServer:
             raise ProtocolError(f"handler for {method!r} already registered")
         self._handlers[method] = handler
 
+    @staticmethod
+    def _priority_of(request: RpcRequest) -> Priority:
+        return Priority(max(0, min(int(request.priority),
+                                   max(Priority).value)))
+
+    def _reject(self, src: str, request: RpcRequest, reason: str):
+        """Process: an immediate, header-sized overload error response."""
+        response = RpcResponse(request.rpc_id, ok=False, error=reason)
+        yield from self.transport.sendto(src, response, RPC_HEADER)
+
+    def _on_queue_drop(self, item, reason: str) -> None:
+        src, request = item
+        self._shed.inc()
+        if self.admission is not None:
+            self.admission.record_overload()
+        self.sim.process(
+            self._reject(src, request, f"overload: dropped ({reason})")
+        )
+
     def _serve_loop(self):
         while True:
             src, request, __ = yield self.transport.recv()
-            if isinstance(request, RpcRequest):
-                self.sim.process(self._handle(src, request))
+            if not isinstance(request, RpcRequest):
+                continue
+            if self.admission is not None and not self.admission.admit(
+                self._priority_of(request)
+            ):
+                self._shed.inc()
+                self.sim.process(
+                    self._reject(src, request, "overload: admission shed")
+                )
+                continue
+            if self.queue is not None:
+                # A full queue rejects via _on_queue_drop — no hidden
+                # buffering, the client learns immediately.
+                self.queue.try_put((src, request))
+                continue
+            self.sim.process(self._handle(src, request))
+
+    def _worker_loop(self):
+        """One wimpy core: run-to-completion service off the queue."""
+        assert self.queue is not None
+        while True:
+            src, request = yield self.queue.get()
+            yield from self._handle(src, request)
 
     def _handle(self, src: str, request: RpcRequest):
         handler = self._handlers.get(request.method)
@@ -164,11 +306,19 @@ class RpcServer:
 
 
 class RpcClient:
-    """Issues calls and matches responses by rpc id."""
+    """Issues calls and matches responses by rpc id.
 
-    def __init__(self, sim: Simulator, socket: Any):
+    ``retry_budget`` (a :class:`RetryBudget`, optionally shared between
+    clients) caps total retransmissions across *all* of this client's
+    concurrent calls: when the window's budget is spent, a timed-out
+    call fails immediately instead of joining the retry storm.
+    """
+
+    def __init__(self, sim: Simulator, socket: Any,
+                 retry_budget: Optional[RetryBudget] = None):
         self.sim = sim
         self.transport = _DatagramAdapter(socket)
+        self.retry_budget = retry_budget
         self._pending: Dict[int, Event] = {}
         # Per-client ids: rpc ids only need to be unique within this
         # client's pending table, and a module-global counter would leak
@@ -181,6 +331,7 @@ class RpcClient:
         self._calls = self._metrics.counter("calls")
         self._retransmits = self._metrics.counter("retransmits")
         self._deadline_exceeded = self._metrics.counter("deadline_exceeded")
+        self._budget_exhausted = self._metrics.counter("retry_budget_exhausted")
         self._call_latency = self._metrics.histogram("call_latency")
         sim.process(self._rx_loop())
 
@@ -191,6 +342,11 @@ class RpcClient:
     @property
     def deadline_exceeded(self) -> int:
         return self._deadline_exceeded.value
+
+    @property
+    def retry_budget_exhausted(self) -> int:
+        """Calls failed fast because the shared retry budget was spent."""
+        return self._budget_exhausted.value
 
     def _rx_loop(self):
         while True:
@@ -211,6 +367,7 @@ class RpcClient:
         retries: int = 0,
         deadline: Optional[float] = None,
         policy: Optional[RetryPolicy] = None,
+        priority: int = 0,
     ):
         """Process: one RPC; returns the handler's result or raises RpcError.
 
@@ -226,7 +383,8 @@ class RpcClient:
         forever on a dead server — the call raises
         ``RpcError("... deadline exceeded")``.
         """
-        request = RpcRequest(next(self._rpc_ids), method, args, response_size)
+        request = RpcRequest(next(self._rpc_ids), method, args, response_size,
+                             priority=priority)
         done = Event(self.sim)
         self._pending[request.rpc_id] = done
         started = self.sim.now
@@ -275,6 +433,13 @@ class RpcClient:
                     raise RpcError(
                         f"{method} to {server} timed out after "
                         f"{attempts} attempt(s)"
+                    )
+                if (self.retry_budget is not None
+                        and not self.retry_budget.try_spend()):
+                    self._pending.pop(request.rpc_id, None)
+                    self._budget_exhausted.inc()
+                    raise RpcError(
+                        f"{method} to {server}: retry budget exhausted"
                     )
                 self._retransmits.inc()
             if attempts:

@@ -2,13 +2,21 @@
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.hw.net.link import Link
 from repro.hw.net.port import NetworkPort
 from repro.sim import Simulator
-from repro.transport import RetryPolicy, RpcClient, RpcError, RpcServer, UdpSocket
+from repro.transport import (
+    RetryBudget,
+    RetryPolicy,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    UdpSocket,
+)
 
 
-def lossy_rpc_pair(sim, loss_fn):
+def lossy_rpc_pair(sim, loss_fn, retry_budget=None):
     """Client whose *requests* traverse a lossy link; replies are clean."""
     client_port = NetworkPort(sim, "client")
     server_port = NetworkPort(sim, "server")
@@ -19,7 +27,9 @@ def lossy_rpc_pair(sim, loss_fn):
     server_port.add_route("*", to_client)
     client_port.attach_rx(to_client)
     server = RpcServer(sim, UdpSocket(sim, server_port))
-    client = RpcClient(sim, UdpSocket(sim, client_port))
+    client = RpcClient(
+        sim, UdpSocket(sim, client_port), retry_budget=retry_budget
+    )
     return server, client
 
 
@@ -198,3 +208,81 @@ class TestRetryPolicy:
         assert result == 9
         # Two backoff waits were paid: ~base + ~2*base, jittered.
         assert elapsed > 2.5e-3
+
+
+class TestRetryBudget:
+    def test_budget_caps_spends_per_window(self):
+        sim = Simulator()
+        budget = RetryBudget(sim, budget=2, window=10e-3)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()  # spent, clock unchanged
+        assert budget.remaining() == 0
+        assert budget.granted == 2
+        assert budget.exhausted == 1
+
+    def test_window_expiry_restores_grants(self):
+        sim = Simulator()
+        budget = RetryBudget(sim, budget=1, window=5e-3)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+        def wait():
+            yield sim.timeout(6e-3)
+
+        sim.run_process(wait())
+        assert budget.remaining() == 1  # the old spend aged out
+        assert budget.try_spend()
+
+    def test_exhausted_budget_fails_the_call_fast(self):
+        """With the budget spent, a timed-out call raises instead of
+        retransmitting into the outage."""
+        sim = Simulator()
+        budget = RetryBudget(sim, budget=2, window=1.0)
+        server, client = lossy_rpc_pair(sim, lambda f: True, budget)
+        server.register("echo", lambda x: x)
+
+        def scenario():
+            yield from client.call(
+                "server", "echo", 1, timeout=1e-3, retries=10
+            )
+
+        with pytest.raises(RpcError, match="retry budget exhausted"):
+            sim.run_process(scenario())
+        # Two retransmissions were granted, the third attempt failed fast.
+        assert client.retransmits == 2
+        assert client.retry_budget_exhausted == 1
+        assert sim.now < 5e-3  # nowhere near 11 timeouts' worth of waiting
+
+    def test_budget_is_shared_across_concurrent_calls(self):
+        sim = Simulator()
+        budget = RetryBudget(sim, budget=3, window=1.0)
+        server, client = lossy_rpc_pair(sim, lambda f: True, budget)
+        server.register("echo", lambda x: x)
+        errors = []
+
+        def one(index):
+            try:
+                yield from client.call(
+                    "server", "echo", index, timeout=1e-3, retries=5
+                )
+            except RpcError as error:
+                errors.append(str(error))
+
+        def scenario():
+            procs = [sim.process(one(i)) for i in range(4)]
+            yield sim.all_of(procs)
+
+        sim.run_process(scenario())
+        # Every call failed, but only 3 retransmissions total were sent —
+        # not 4 calls x 5 retries of outage amplification.
+        assert len(errors) == 4
+        assert client.retransmits == 3
+        assert sum("retry budget exhausted" in e for e in errors) >= 3
+
+    def test_invalid_budgets_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            RetryBudget(sim, budget=0, window=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryBudget(sim, budget=1, window=0.0)
