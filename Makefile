@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-tables bench-report eval chaos overload examples all
+.PHONY: install test lint bench bench-tables bench-report eval chaos overload scaleout docs examples all
 
 install:
 	pip install -e .
@@ -45,6 +45,19 @@ chaos:
 overload:
 	python -m repro.eval e15
 	pytest tests/test_overload.py -q
+
+# E16 scale-out evaluation: goodput vs DPU count with/without
+# batching+cache, plus a live scale-out event (zero failed ops). The
+# sharding unit tests also run under tier-1 `make test`.
+scaleout:
+	python -m repro.eval e16
+	pytest tests/test_sharding.py -q
+
+# Documentation hygiene: markdown link check + doctest'd examples
+# (mirrors the CI docs job).
+docs:
+	python tools/check_links.py README.md DESIGN.md EXPERIMENTS.md docs
+	pytest --doctest-modules src/repro/sharding -q
 
 examples:
 	@for ex in examples/*.py; do \

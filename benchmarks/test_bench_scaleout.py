@@ -1,0 +1,53 @@
+"""E16 bench: the sharded data plane actually scales, live.
+
+The paper's multi-DPU story (§2.4 "applications span many DPUs"; §3's
+blueprint of a host-free data plane) needs more than a static ring: the
+cluster must grow without dropping requests. Expected shape: goodput
+climbs with DPU count; batching + the hot-key cache buy a >=4x speedup at
+8 DPUs over one naive DPU; and a mid-run scale-out event moves keys over
+the simulated fabric with zero failed client operations while the tracer
+shows the migration spans.
+"""
+
+from conftest import emit
+
+from repro.eval.scaleout import format_scaleout, run_scaleout
+
+
+def test_bench_scaleout_speedup(benchmark):
+    report = benchmark.pedantic(run_scaleout, rounds=1, iterations=1)
+    emit(format_scaleout(report))
+    # Goodput is monotone in DPU count within each configuration.
+    for optimized in (False, True):
+        series = [p.goodput for p in report.points if p.optimized is optimized]
+        assert series == sorted(series)
+    # The acceptance bar: 8 optimized DPUs >= 4x one naive DPU.
+    assert report.speedup_8dpu >= 4.0
+    # Batching + cache beat the naive path at the same scale.
+    assert report.batching_gain_8dpu > 1.0
+    # The cache is actually serving hot keys on the optimized path.
+    top = max(report.points, key=lambda p: (p.optimized, p.dpus))
+    assert top.cache_hit_rate > 0.0
+    # Closed-loop clients never see a failed op in the steady-state sweep.
+    assert all(p.failures == 0 for p in report.points)
+
+
+def test_bench_scaleout_live_migration(benchmark):
+    report = benchmark.pedantic(run_scaleout, rounds=1, iterations=1)
+    emit(format_scaleout(report))
+    event = report.event
+    # The cluster grew mid-run and the migration actually moved data.
+    assert event.dpus_after == event.dpus_before + 1
+    assert event.keys_moved > 0
+    assert event.epoch > 1
+    # Zero failed ops across the whole scale-out window.
+    assert event.failures == 0
+    assert event.ops > 0
+    # The span trace captured the migration and its per-source handoffs.
+    assert event.migrate_spans == 1
+    assert event.handoff_spans >= 1
+    # Forwarding stubs served in-flight keys instead of failing them.
+    assert event.forwarded_ops > 0
+    # The tail inflates while segments hand off, then recovers: bounded.
+    assert event.p99_inflation < 50.0
+    assert event.p99_after < event.p99_during

@@ -49,6 +49,7 @@ from repro.eval.pointer_chase import run_pointer_chase
 from repro.eval.predictability import run_predictability
 from repro.eval.reconfig import run_reconfig
 from repro.eval.recovery import run_recovery
+from repro.eval.scaleout import run_scaleout
 from repro.eval.telemetry import run_telemetry
 from repro.eval.translation import run_translation
 
@@ -253,6 +254,25 @@ def _overload_metrics(report) -> Dict[str, Metric]:
     }
 
 
+def _scaleout_metrics(report) -> Dict[str, Metric]:
+    top = max(report.points, key=lambda p: (p.optimized, p.dpus))
+    return {
+        "speedup_8dpu": Metric(report.speedup_8dpu, HIGHER, "x"),
+        "batching_gain_8dpu": Metric(
+            report.batching_gain_8dpu, HIGHER, "x"),
+        "top_goodput_ops": Metric(top.goodput, HIGHER, "ops/s"),
+        "top_p99_s": Metric(top.p99_latency, LOWER, "s"),
+        "event_failures": Metric(report.event.failures, LOWER, "ops"),
+        "event_p99_inflation": Metric(
+            report.event.p99_inflation, LOWER, "x"),
+        "event_keys_moved": Metric(report.event.keys_moved, INFO, "keys"),
+        "event_migration_s": Metric(
+            report.event.migration_duration, INFO, "s"),
+        "report_digest": Metric(0.0, INFO, _digest(report.canonical_bytes())),
+        "telemetry_digest": Metric(0.0, INFO, _digest(report.telemetry)),
+    }
+
+
 def _p2pdma_metrics(points) -> Dict[str, Metric]:
     hyperion = [p for p in points if p.path == "hyperion"]
     largest = max(hyperion, key=lambda p: p.transfer_size)
@@ -303,6 +323,8 @@ SPECS: Tuple[BenchSpec, ...] = (
               run_chaos, _chaos_metrics, seeded=True),
     BenchSpec("e15", "overload: collapse vs graceful brownout",
               run_overload, _overload_metrics, seeded=True),
+    BenchSpec("e16", "scale-out data plane: sharding + batching + cache",
+              run_scaleout, _scaleout_metrics, seeded=True),
     BenchSpec("p2p", "NIC->SSD bounce vs P2P DMA vs Hyperion",
               run_p2pdma, _p2pdma_metrics),
     BenchSpec("telemetry", "unified telemetry plane",

@@ -9,23 +9,18 @@ run-to-completion, with no coordinator in the data path.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.common.errors import ConfigurationError, DegradedError
 from repro.overload.breaker import CircuitBreaker, CircuitOpenError
+from repro.sharding.ring import DEFAULT_VNODES, HashRing
 from repro.telemetry import MetricScope
 from repro.hw.net import Network
 from repro.hw.nvme import Namespace, NvmeController
 from repro.sim import Simulator
 from repro.storage.kvssd import KvSsd, KvSsdClient, KvSsdService
 from repro.transport import RetryPolicy, RpcClient, RpcError, RpcServer, UdpSocket
-
-
-def _owner_index(key: bytes, count: int) -> int:
-    digest = hashlib.blake2b(key, digest_size=8).digest()
-    return int.from_bytes(digest, "big") % count
 
 
 @dataclass
@@ -41,28 +36,47 @@ class ClusterStats:
 
 
 class DpuKvCluster:
-    """N standalone KV-SSD DPUs behind client-driven routing."""
+    """N standalone KV-SSD DPUs behind client-driven routing.
+
+    Placement is a consistent-hash ring
+    (:class:`~repro.sharding.ring.HashRing`) rather than ``hash % n``:
+    the owner of a key depends only on the ring geometry, so growing or
+    shrinking the cluster re-homes ~1/n of the keyspace instead of
+    nearly all of it (the property live migration builds on).
+    """
 
     def __init__(self, sim: Simulator, network: Network, dpu_count: int = 4,
-                 ssd_blocks: int = 65536):
+                 ssd_blocks: int = 65536, vnodes: int = DEFAULT_VNODES):
         if dpu_count < 1:
             raise ConfigurationError("need at least one DPU")
         self.sim = sim
         self.network = network
+        self.ssd_blocks = ssd_blocks
         self.addresses: List[str] = []
         self.devices: List[KvSsd] = []
+        self.servers: List[RpcServer] = []
+        self.ring = HashRing(vnodes=vnodes)
         for index in range(dpu_count):
-            address = f"kv-dpu-{index}"
-            controller = NvmeController(sim, f"{address}-flash")
-            controller.add_namespace(Namespace(1, ssd_blocks))
-            device = KvSsd(sim, controller, memtable_limit=100_000)
-            server = RpcServer(sim, UdpSocket(sim, network.endpoint(address)))
-            KvSsdService(server, device)
-            self.addresses.append(address)
-            self.devices.append(device)
+            self._build_dpu(f"kv-dpu-{index}")
+
+    def _build_dpu(self, address: str) -> str:
+        """Stand up one KV-SSD DPU, serve it, and place it on the ring."""
+        controller = NvmeController(self.sim, f"{address}-flash")
+        controller.add_namespace(Namespace(1, self.ssd_blocks))
+        device = KvSsd(self.sim, controller, memtable_limit=100_000)
+        server = RpcServer(
+            self.sim, UdpSocket(self.sim, self.network.endpoint(address))
+        )
+        KvSsdService(server, device)
+        self.addresses.append(address)
+        self.devices.append(device)
+        self.servers.append(server)
+        self.ring.add_node(address)
+        return address
 
     def owner_of(self, key: bytes) -> str:
-        return self.addresses[_owner_index(key, len(self.addresses))]
+        """The DPU owning *key* under the current ring."""
+        return self.ring.owner_of(key)
 
     def stats(self) -> ClusterStats:
         per_dpu = {
@@ -140,12 +154,12 @@ class ReplicatedDpuKvCluster(DpuKvCluster):
         self.down: Set[str] = set()
 
     def replicas_of(self, key: bytes) -> List[str]:
-        """The key's replica chain, head (hash owner) first."""
-        start = _owner_index(key, len(self.addresses))
-        return [
-            self.addresses[(start + offset) % len(self.addresses)]
-            for offset in range(self.replication)
-        ]
+        """The key's replica chain, head (ring owner) first.
+
+        Replicas are the next distinct DPUs clockwise on the hash ring,
+        so they are always on distinct physical devices.
+        """
+        return self.ring.replicas_of(key, self.replication)
 
     def kill(self, index: int) -> str:
         """Abruptly kill one DPU: all frames to it vanish at the switch."""

@@ -28,6 +28,7 @@ from repro.eval.predictability import format_predictability, run_predictability
 from repro.eval.reconfig import format_reconfig, run_reconfig
 from repro.eval.recovery import format_recovery, run_recovery
 from repro.eval.p2pdma import format_p2pdma, run_p2pdma
+from repro.eval.scaleout import format_scaleout, run_scaleout
 from repro.eval.table1 import run_table1
 from repro.eval.telemetry import format_telemetry, run_telemetry
 from repro.eval.translation import format_translation, run_translation
@@ -83,6 +84,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[Optional[int]], str]]] = {
             _seeded(run_chaos, format_chaos)),
     "e15": ("E15: overload — congestion collapse vs graceful brownout",
             _seeded(run_overload, format_overload)),
+    "e16": ("E16: scale-out data plane — sharding, batching, hot-key cache",
+            _seeded(run_scaleout, format_scaleout)),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
             _unseeded(run_p2pdma, format_p2pdma)),
     "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",

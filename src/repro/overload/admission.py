@@ -69,6 +69,7 @@ class TokenBucket:
 
     @property
     def tokens(self) -> float:
+        """Tokens available right now, after lazy refill at the current rate."""
         self._refill()
         return self._tokens
 
@@ -78,6 +79,7 @@ class TokenBucket:
         return self.tokens / self.capacity
 
     def try_take(self, cost: float = 1.0) -> bool:
+        """Take *cost* tokens if available; ``False`` means the caller sheds."""
         self._refill()
         if self._tokens >= cost:
             self._tokens -= cost
@@ -85,6 +87,7 @@ class TokenBucket:
         return False
 
     def set_rate(self, rate: float) -> None:
+        """Retarget the refill rate (tokens/s), settling accrued tokens first."""
         # Settle accrued tokens at the old rate before switching.
         self._refill()
         self.rate = rate
@@ -145,12 +148,15 @@ class AdmissionController:
 
     @property
     def rate(self) -> float:
+        """The current AIMD-controlled admission rate, in requests/s."""
         return self.bucket.rate
 
     def admitted(self, priority: Priority = Priority.USER) -> int:
+        """Requests admitted so far at *priority*."""
         return self._admitted[priority].value
 
     def shed(self, priority: Priority = Priority.USER) -> int:
+        """Requests shed so far at *priority*."""
         return self._shed[priority].value
 
     # -- the decision ----------------------------------------------------

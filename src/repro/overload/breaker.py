@@ -138,6 +138,7 @@ class CircuitBreaker:
 
     # -- outcomes --------------------------------------------------------
     def record_success(self) -> None:
+        """Record a successful call; enough successes close a half-open breaker."""
         if self.state is BreakerState.HALF_OPEN:
             self._probe_successes += 1
             if self._probe_successes >= self.success_threshold:
@@ -151,6 +152,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
 
     def record_failure(self) -> None:
+        """Record a failed call; enough failures trip the breaker open."""
         if self.state is BreakerState.HALF_OPEN:
             # A failed probe re-opens immediately: the backend is not back.
             self._transition(BreakerState.OPEN)

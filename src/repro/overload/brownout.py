@@ -91,22 +91,27 @@ class BrownoutController:
     # -- reading ---------------------------------------------------------
     @property
     def level(self) -> int:
+        """Current degradation level: 0 (normal) .. len(LADDER)-1 (deepest)."""
         return self._level
 
     @property
     def mode(self) -> BrownoutMode:
+        """The named mode for the current level (NORMAL, DIM, ... BROWNOUT)."""
         return self.modes[self._level]
 
     @property
     def batch_scale(self) -> float:
+        """Multiplier (0..1] callers apply to batch sizes at this level."""
         return self.mode.batch_scale
 
     @property
     def compaction_enabled(self) -> bool:
+        """Whether background compaction may run at this level."""
         return self.mode.compaction_enabled
 
     @property
     def serve_stale(self) -> bool:
+        """Whether reads may serve stale data to shed work at this level."""
         return self.mode.serve_stale
 
     def transition_log_bytes(self) -> bytes:

@@ -95,6 +95,7 @@ class BoundedQueue:
 
     @property
     def depth(self) -> int:
+        """Items currently waiting in the queue."""
         return len(self._entries)
 
     @property
@@ -104,10 +105,12 @@ class BoundedQueue:
 
     @property
     def dropped_full(self) -> int:
+        """Arrivals rejected because the queue was at capacity."""
         return self._dropped_full.value
 
     @property
     def dropped_deadline(self) -> int:
+        """Items dropped at dequeue because their deadline had passed."""
         return self._dropped_deadline.value
 
     def _sync_gauges(self) -> None:

@@ -1,0 +1,207 @@
+"""Live shard migration: add or drain a DPU without an outage.
+
+The control plane of the scale-out data plane. A migration is a
+simulated process:
+
+1. plan the handoff against the *future* ring (``ring.with_node`` /
+   ``ring.without_node``) — only keys whose owner changes move;
+2. stream those keys source → destination in fixed-size **segments**
+   (one ``shard.handoff`` RPC each), each value crossing the simulated
+   network as a BACKGROUND-priority put so the overload machinery sheds
+   migration traffic before user ops;
+3. commit: place (or remove) the node on the live ring and bump the
+   cluster epoch. Clients observe the epoch on their next op, re-route,
+   and drop every cache entry filled under the old map.
+
+Between (1) and (3) clients still route on the old ring; the source's
+:class:`~repro.sharding.cluster.ShardForwarder` proxies ops for
+already-moved keys, so mid-migration traffic pays at most one extra hop
+— a latency event, never a failed op (E16 asserts exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.sharding.cluster import ShardedKvCluster
+from repro.sim import Simulator
+from repro.transport import RpcClient, UdpSocket
+
+__all__ = ["ShardMigrator", "MigrationReport"]
+
+#: Keys per handoff RPC — the migration's transfer unit ("segment").
+DEFAULT_SEGMENT_KEYS = 8
+
+
+@dataclass
+class MigrationReport:
+    """What one completed migration did.
+
+    Attributes:
+        node: the DPU that joined or left the ring.
+        direction: ``"join"`` or ``"leave"``.
+        keys_moved: values actually re-homed over the network.
+        segments: ``shard.handoff`` RPCs issued.
+        epoch: the routing epoch the commit produced.
+        started/finished: simulated bounds of the migration window.
+        per_source: keys moved out of each source DPU.
+    """
+
+    node: str
+    direction: str
+    keys_moved: int
+    segments: int
+    epoch: int
+    started: float
+    finished: float
+    per_source: Dict[str, int]
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the migration window lasted."""
+        return self.finished - self.started
+
+    def line(self) -> str:
+        """Canonical one-line form (same seed => same bytes)."""
+        sources = ",".join(
+            f"{source}:{count}" for source, count in self.per_source.items()
+        )
+        return (
+            f"migration node={self.node} direction={self.direction} "
+            f"keys={self.keys_moved} segments={self.segments} "
+            f"epoch={self.epoch} duration={self.duration!r} "
+            f"sources=[{sources}]"
+        )
+
+
+class ShardMigrator:
+    """Drives live topology changes against a :class:`ShardedKvCluster`.
+
+    Owns a control-plane RPC endpoint; data never flows through it —
+    values move directly source → destination via ``shard.handoff``.
+
+    Args:
+        sim: the simulator.
+        cluster: the cluster whose topology this migrator manages.
+        segment_keys: keys per handoff RPC (the migration granularity:
+            smaller segments interleave better with foreground traffic,
+            larger ones finish the migration sooner).
+    """
+
+    def __init__(self, sim: Simulator, cluster: ShardedKvCluster,
+                 segment_keys: int = DEFAULT_SEGMENT_KEYS):
+        if segment_keys < 1:
+            raise ConfigurationError("need at least one key per segment")
+        self.sim = sim
+        self.cluster = cluster
+        self.segment_keys = segment_keys
+        self.rpc = RpcClient(
+            sim, UdpSocket(sim, cluster.network.endpoint("shard-migrator"))
+        )
+        self._metrics = sim.telemetry.unique_scope("shard.migrator")
+        self._migrations = self._metrics.counter("migrations")
+        self._keys_moved = self._metrics.counter("keys_moved")
+        self._segments = self._metrics.counter("segments")
+        self.reports: List[MigrationReport] = []
+
+    # -- internals -----------------------------------------------------------
+    def _list_keys(self, address: str):
+        """Process: fetch one DPU's resident-key work list."""
+        keys = yield from self.rpc.call(
+            address, "shard.keys", request_size=32, response_size=1024,
+        )
+        return [bytes(key) for key in keys]
+
+    def _handoff(self, source: str, dest: str, keys: List[bytes]):
+        """Process: stream *keys* from *source* to *dest* in segments."""
+        moved = segments = 0
+        for start in range(0, len(keys), self.segment_keys):
+            segment = keys[start:start + self.segment_keys]
+            count = yield from self.rpc.call(
+                source, "shard.handoff", dest, tuple(segment),
+                request_size=64 + sum(16 + len(k) for k in segment),
+                response_size=16,
+            )
+            moved += count
+            segments += 1
+            self._segments.inc()
+        return moved, segments
+
+    # -- the two topology changes --------------------------------------------
+    def add_dpu(self):
+        """Process: scale out — spawn a DPU, migrate its ranges in, commit.
+
+        Returns the :class:`MigrationReport`; the new DPU serves its
+        share of the keyspace from the commit's epoch onward.
+        """
+        cluster = self.cluster
+        address = cluster.spawn_dpu()
+        future = cluster.ring.with_node(address)
+        started = self.sim.now
+        per_source: Dict[str, int] = {}
+        segments = 0
+        with self.sim.tracer.span(
+            "shard.migrate", "shard", node=address, direction="join",
+        ):
+            for source in cluster.ring.nodes:
+                keys = yield from self._list_keys(source)
+                moving = [k for k in keys if future.owner_of(k) == address]
+                if not moving:
+                    continue
+                moved, chunks = yield from self._handoff(
+                    source, address, moving
+                )
+                per_source[source] = moved
+                segments += chunks
+            epoch = cluster.commit_join(address)
+        return self._finish(address, "join", per_source, segments,
+                            epoch, started)
+
+    def remove_dpu(self, address: str):
+        """Process: drain — push every resident key to its next owner,
+        then drop the DPU from the ring and commit.
+
+        The drained DPU keeps running as a pure forwarding stub, so
+        clients still routing on the old epoch lose nothing.
+        """
+        cluster = self.cluster
+        if address not in cluster.ring:
+            raise ConfigurationError(f"{address} is not a ring member")
+        if len(cluster.ring) < 2:
+            raise ConfigurationError("cannot drain the last DPU")
+        future = cluster.ring.without_node(address)
+        started = self.sim.now
+        per_source: Dict[str, int] = {}
+        segments = 0
+        with self.sim.tracer.span(
+            "shard.migrate", "shard", node=address, direction="leave",
+        ):
+            keys = yield from self._list_keys(address)
+            # Group by future owner, preserving the sorted key order.
+            by_dest: Dict[str, List[bytes]] = {}
+            for key in keys:
+                by_dest.setdefault(future.owner_of(key), []).append(key)
+            for dest in sorted(by_dest):
+                moved, chunks = yield from self._handoff(
+                    address, dest, by_dest[dest]
+                )
+                per_source[address] = per_source.get(address, 0) + moved
+                segments += chunks
+            epoch = cluster.commit_leave(address)
+        return self._finish(address, "leave", per_source, segments,
+                            epoch, started)
+
+    def _finish(self, node: str, direction: str, per_source: Dict[str, int],
+                segments: int, epoch: int, started: float) -> MigrationReport:
+        report = MigrationReport(
+            node=node, direction=direction,
+            keys_moved=sum(per_source.values()), segments=segments,
+            epoch=epoch, started=started, finished=self.sim.now,
+            per_source=per_source,
+        )
+        self._migrations.inc()
+        self._keys_moved.inc(report.keys_moved)
+        self.reports.append(report)
+        return report

@@ -85,9 +85,11 @@ class Counter(Metric):
 
     @property
     def value(self) -> int:
+        """The current count."""
         return self._value
 
     def inc(self, amount: int = 1) -> int:
+        """Add *amount* (>= 0) and return the new count."""
         if amount < 0:
             raise ConfigurationError(f"counter {self.name} cannot decrease")
         self._value += amount
@@ -101,6 +103,7 @@ class Counter(Metric):
         self._value = value
 
     def snapshot_line(self) -> str:
+        """One canonical line for :meth:`MetricsRegistry.snapshot_bytes`."""
         return f"counter {self.name} {self._value}"
 
     def __repr__(self) -> str:
@@ -118,21 +121,26 @@ class Gauge(Metric):
 
     @property
     def value(self) -> float:
+        """The current value."""
         return self._value
 
     def set(self, value: float) -> float:
+        """Replace the value; returns it."""
         self._value = value
         return self._value
 
     def inc(self, amount: float = 1.0) -> float:
+        """Add *amount* and return the new value."""
         self._value += amount
         return self._value
 
     def dec(self, amount: float = 1.0) -> float:
+        """Subtract *amount* and return the new value."""
         self._value -= amount
         return self._value
 
     def snapshot_line(self) -> str:
+        """One canonical line for :meth:`MetricsRegistry.snapshot_bytes`."""
         return f"gauge {self.name} {self._value!r}"
 
     def __repr__(self) -> str:
@@ -173,6 +181,7 @@ class Histogram(Metric):
 
     # -- recording -----------------------------------------------------------
     def observe(self, value: float) -> None:
+        """Record one sample into its bucket and the raw-sample list."""
         self._samples.append(value)
         self._sum += value
         self._counts[bisect_left(self.bounds, value)] += 1
@@ -180,22 +189,27 @@ class Histogram(Metric):
     # -- reading -------------------------------------------------------------
     @property
     def count(self) -> int:
+        """Number of samples observed."""
         return len(self._samples)
 
     @property
     def sum(self) -> float:
+        """Sum of all observed samples."""
         return self._sum
 
     @property
     def samples(self) -> Tuple[float, ...]:
+        """The raw samples, in observation order."""
         return tuple(self._samples)
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
         return self._sum / len(self._samples) if self._samples else 0.0
 
     @property
     def pstdev(self) -> float:
+        """Population standard deviation of the samples."""
         if not self._samples:
             return 0.0
         mean = self.mean
@@ -205,10 +219,12 @@ class Histogram(Metric):
 
     @property
     def min(self) -> float:
+        """Smallest observed sample (0.0 when empty)."""
         return min(self._samples) if self._samples else 0.0
 
     @property
     def max(self) -> float:
+        """Largest observed sample (0.0 when empty)."""
         return max(self._samples) if self._samples else 0.0
 
     def quantile(self, fraction: float) -> float:
@@ -242,6 +258,7 @@ class Histogram(Metric):
         return list(zip(bounds, self._counts))
 
     def snapshot_line(self) -> str:
+        """One canonical line for :meth:`MetricsRegistry.snapshot_bytes`."""
         quantiles = " ".join(
             f"p{int(f * 100):02d}={percentile(self._samples, f)!r}"
             for f in (0.50, 0.90, 0.99)
@@ -281,20 +298,25 @@ class MetricScope:
         return f"{self.prefix}.{name}" if self.prefix else name
 
     def counter(self, name: str) -> Counter:
+        """The counter at ``prefix.name`` (created on first use)."""
         return self.registry.counter(self._path(name))
 
     def gauge(self, name: str) -> Gauge:
+        """The gauge at ``prefix.name`` (created on first use)."""
         return self.registry.gauge(self._path(name))
 
     def histogram(
         self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
     ) -> Histogram:
+        """The histogram at ``prefix.name`` (created on first use)."""
         return self.registry.histogram(self._path(name), buckets)
 
     def scope(self, sub: str) -> "MetricScope":
+        """A child scope at ``prefix.sub``, over the same registry."""
         return MetricScope(self.registry, self._path(sub))
 
     def rename(self, new_prefix: str) -> "MetricScope":
+        """Move this scope's metrics under *new_prefix* (see class docs)."""
         self.prefix = self.registry.rename(self.prefix, new_prefix)
         return self
 
@@ -327,17 +349,21 @@ class MetricsRegistry:
         return metric
 
     def counter(self, path: str) -> Counter:
+        """The counter at *path* (created on first use)."""
         return self._get_or_create(path, Counter)
 
     def gauge(self, path: str) -> Gauge:
+        """The gauge at *path* (created on first use)."""
         return self._get_or_create(path, Gauge)
 
     def histogram(
         self, path: str, buckets: Sequence[float] = DEFAULT_BUCKETS
     ) -> Histogram:
+        """The histogram at *path* (created on first use)."""
         return self._get_or_create(path, Histogram)
 
     def scope(self, prefix: str) -> MetricScope:
+        """A :class:`MetricScope` prefixing every name with *prefix*."""
         return MetricScope(self, prefix)
 
     def unique_scope(self, base: str) -> MetricScope:
@@ -377,6 +403,7 @@ class MetricsRegistry:
 
     # -- reading -------------------------------------------------------------
     def get(self, path: str) -> Optional[Metric]:
+        """The metric registered at *path*, or ``None``."""
         return self._metrics.get(path)
 
     def __contains__(self, path: str) -> bool:
@@ -386,12 +413,14 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def paths(self, prefix: str = "") -> List[str]:
+        """All registered paths under *prefix* (all of them when empty), sorted."""
         return sorted(
             path for path in self._metrics
             if not prefix or path == prefix or path.startswith(prefix + ".")
         )
 
     def walk(self, prefix: str = "") -> Iterator[Metric]:
+        """The metrics under *prefix*, in path order."""
         for path in self.paths(prefix):
             yield self._metrics[path]
 

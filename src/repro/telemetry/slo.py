@@ -110,9 +110,11 @@ class SloRule:
         return f"{self.path}.{self.stat}"
 
     def holds(self, value: float) -> bool:
+        """Whether *value* satisfies this rule's threshold."""
         return _OPS[self.op](value, self.threshold)
 
     def describe(self) -> str:
+        """Human-readable restatement of the rule, used in alert lines."""
         tail = (
             f" for {self.for_duration!r}s" if self.for_duration else ""
         )
@@ -131,6 +133,7 @@ class SloAlert:
     value: float
 
     def line(self) -> str:
+        """One canonical log line for this alert (deterministic per seed)."""
         return (
             f"slo {self.state} rule={self.rule} at={self.at!r} "
             f"value={self.value!r}"
@@ -157,6 +160,7 @@ class SloMonitor:
         sampler.on_sample.append(self.check)
 
     def add(self, rule: SloRule) -> "SloMonitor":
+        """Register *rule* for evaluation on every sampler tick; returns self."""
         if any(existing.name == rule.name for existing in self.rules):
             raise ConfigurationError(f"duplicate SLO rule name {rule.name!r}")
         self.rules.append(rule)
@@ -206,6 +210,7 @@ class SloMonitor:
         return sorted(name for name, on in self._firing.items() if on)
 
     def fired_count(self, rule_name: Optional[str] = None) -> int:
+        """Alerts fired so far, optionally filtered to one rule name."""
         return sum(
             1 for alert in self.alerts
             if alert.state == "firing"

@@ -57,6 +57,7 @@ class Series:
 
     # -- recording -----------------------------------------------------------
     def append(self, when: float, value: float) -> None:
+        """Record (*when*, *value*), evicting the oldest point when full."""
         if self._points and when < self._points[-1][0]:
             raise ConfigurationError(
                 f"series {self.name}: time went backwards "
@@ -70,10 +71,12 @@ class Series:
 
     @property
     def points(self) -> Tuple[Point, ...]:
+        """All retained points, oldest first."""
         return tuple(self._points)
 
     @property
     def last(self) -> Optional[Point]:
+        """The most recent point, or ``None`` when empty."""
         return self._points[-1] if self._points else None
 
     def window(self, duration: Optional[float] = None,
@@ -103,6 +106,7 @@ class Series:
 
     def mean(self, duration: Optional[float] = None,
              now: Optional[float] = None) -> float:
+        """Mean of the values in the window (see :meth:`window`)."""
         points = self.window(duration, now)
         if not points:
             return 0.0
@@ -110,15 +114,18 @@ class Series:
 
     def max(self, duration: Optional[float] = None,
             now: Optional[float] = None) -> float:
+        """Largest value in the window (see :meth:`window`)."""
         points = self.window(duration, now)
         return max((v for __, v in points), default=0.0)
 
     def quantile(self, fraction: float, duration: Optional[float] = None,
                  now: Optional[float] = None) -> float:
+        """Interpolated quantile (0..1) of the window's values."""
         return percentile([v for __, v in self.window(duration, now)],
                           fraction)
 
     def snapshot_line(self) -> str:
+        """One canonical line summarizing the series for snapshots."""
         rendered = " ".join(f"{t!r}:{v!r}" for t, v in self._points)
         return f"series {self.name} n={len(self._points)} {rendered}".rstrip()
 
@@ -184,9 +191,11 @@ class Sampler:
         return series
 
     def series(self, name: str) -> Optional[Series]:
+        """The recorded series for *name*, or ``None`` if never watched."""
         return self._series.get(name)
 
     def names(self) -> List[str]:
+        """Names of all watched series, sorted."""
         return sorted(self._series)
 
     # -- sampling ------------------------------------------------------------

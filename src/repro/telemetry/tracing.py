@@ -48,18 +48,22 @@ class Span:
 
     @property
     def duration(self) -> float:
+        """Elapsed simulated seconds; uses the clock's now while still open."""
         return (self.end if self.end is not None else self.start) - self.start
 
     @property
     def open(self) -> bool:
+        """Whether the span has not finished yet."""
         return self.end is None
 
     def annotate(self, **attrs: Any) -> "Span":
+        """Attach key=value attributes to the span; returns self."""
         self.attrs.update(attrs)
         return self
 
     # -- tree queries --------------------------------------------------------
     def walk(self):
+        """Yield this span and every descendant, depth-first (recursive)."""
         yield self
         for child in self.children:
             yield from child.walk()
@@ -69,6 +73,7 @@ class Span:
         return {span.substrate for span in self.walk()}
 
     def depth(self) -> int:
+        """Levels of nesting below this span (0 for a leaf)."""
         if not self.children:
             return 1
         return 1 + max(child.depth() for child in self.children)
@@ -100,6 +105,7 @@ class _NullSpan:
         return False
 
     def annotate(self, **attrs: Any) -> "_NullSpan":
+        """No-op annotate matching :meth:`Span.annotate`; returns self."""
         return self
 
 
@@ -125,14 +131,17 @@ class Tracer:
 
     # -- switches ------------------------------------------------------------
     def enable(self) -> "Tracer":
+        """Start recording spans; returns self."""
         self.enabled = True
         return self
 
     def disable(self) -> "Tracer":
+        """Stop recording; finished spans are kept, new ones ignored."""
         self.enabled = False
         return self
 
     def reset(self) -> "Tracer":
+        """Drop all recorded spans and the open stack; returns self."""
         self.roots = []
         self._stack = []
         return self
@@ -164,10 +173,12 @@ class Tracer:
 
     @property
     def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
         return self._stack[-1] if self._stack else None
 
     # -- rendering -----------------------------------------------------------
     def substrates(self) -> Set[str]:
+        """Distinct substrate prefixes (text before the first dot) seen."""
         found: Set[str] = set()
         for root in self.roots:
             found |= root.substrates()

@@ -12,6 +12,8 @@ from repro.transport.tcp import TcpStack, TcpConnection
 from repro.transport.rdma import RdmaNic, MemoryRegion
 from repro.transport.homa import HomaSocket
 from repro.transport.rpc import (
+    MAX_BATCH_OPS,
+    BatchOp,
     RetryBudget,
     RetryPolicy,
     RpcClient,
@@ -31,4 +33,6 @@ __all__ = [
     "RpcError",
     "RetryBudget",
     "RetryPolicy",
+    "BatchOp",
+    "MAX_BATCH_OPS",
 ]

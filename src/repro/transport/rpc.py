@@ -13,7 +13,7 @@ import itertools
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.overload.admission import AdmissionController, Priority
@@ -22,6 +22,12 @@ from repro.sim import Event, Simulator
 from repro.telemetry import MetricScope
 
 RPC_HEADER = 16
+
+#: Reserved method name for coalesced batches (built into every server).
+BATCH_METHOD = "rpc.batch"
+
+#: Most sub-operations one batch may coalesce into a single round trip.
+MAX_BATCH_OPS = 64
 
 
 class RpcError(ProtocolError):
@@ -142,6 +148,22 @@ class RpcResponse:
     error: str = ""
 
 
+@dataclass(frozen=True)
+class BatchOp:
+    """One sub-operation inside a coalesced :data:`BATCH_METHOD` request.
+
+    Sizes model the op's share of the wire payload: the batch request
+    occupies ``RPC_HEADER + sum(request_size)`` bytes on the network and
+    the response ``RPC_HEADER + sum(response_size)`` — one round trip
+    amortized over every op.
+    """
+
+    method: str
+    args: tuple = ()
+    request_size: int = 64
+    response_size: int = 64
+
+
 class _DatagramAdapter:
     """Uniform sendto/recv interface over UDP and HOMA sockets."""
 
@@ -202,6 +224,8 @@ class RpcServer:
         )
         self._requests_served = self._metrics.counter("requests_served")
         self._shed = self._metrics.counter("requests_shed")
+        self._batches_served = self._metrics.counter("batches_served")
+        self._batched_ops = self._metrics.counter("batched_ops")
         self.admission = admission
         self.queue: Optional[BoundedQueue] = None
         if queue_capacity is not None:
@@ -226,10 +250,23 @@ class RpcServer:
         return self._shed.value
 
     @property
+    def batches_served(self) -> int:
+        """Coalesced :data:`BATCH_METHOD` requests served."""
+        return self._batches_served.value
+
+    @property
+    def batched_ops(self) -> int:
+        """Sub-operations executed inside batch requests."""
+        return self._batched_ops.value
+
+    @property
     def address(self) -> str:
         return self.transport.address
 
     def register(self, method: str, handler: Callable) -> None:
+        """Bind *handler* to *method*; one handler per name, no rebinding."""
+        if method == BATCH_METHOD:
+            raise ProtocolError(f"{BATCH_METHOD!r} is built in")
         if method in self._handlers:
             raise ProtocolError(f"handler for {method!r} already registered")
         self._handlers[method] = handler
@@ -281,6 +318,9 @@ class RpcServer:
             yield from self._handle(src, request)
 
     def _handle(self, src: str, request: RpcRequest):
+        if request.method == BATCH_METHOD:
+            yield from self._handle_batch(src, request)
+            return
         handler = self._handlers.get(request.method)
         if handler is None:
             response = RpcResponse(
@@ -300,6 +340,45 @@ class RpcServer:
             except Exception as exc:  # noqa: BLE001 - marshalled to the client
                 response = RpcResponse(request.rpc_id, ok=False, error=str(exc))
             self._requests_served.inc()
+            yield from self.transport.sendto(
+                src, response, RPC_HEADER + request.response_size
+            )
+
+    def _handle_batch(self, src: str, request: RpcRequest):
+        """Process: run every sub-op run-to-completion, answer once.
+
+        The batch occupied exactly one admission-controller token and one
+        queue slot (it is an ordinary request until it reaches a worker),
+        so coalescing N ops costs the overload machinery 1/N of the
+        per-op accounting — the point of batching. Sub-op failures are
+        marshalled per-op; the batch response itself always succeeds.
+        """
+        (ops,) = request.args
+        with self.sim.tracer.span(
+            "rpc.handle", "transport",
+            method=BATCH_METHOD, server=self.transport.address, ops=len(ops),
+        ):
+            results = []
+            for position, (method, args) in enumerate(ops):
+                handler = self._handlers.get(method)
+                if handler is None:
+                    results.append(RpcResponse(
+                        position, ok=False, error=f"no method {method!r}"
+                    ))
+                    continue
+                try:
+                    outcome = handler(*args)
+                    if hasattr(outcome, "send"):
+                        outcome = yield self.sim.process(outcome)
+                    results.append(RpcResponse(position, ok=True,
+                                               result=outcome))
+                except Exception as exc:  # noqa: BLE001 - marshalled per op
+                    results.append(RpcResponse(position, ok=False,
+                                               error=str(exc)))
+                self._batched_ops.inc()
+            self._requests_served.inc()
+            self._batches_served.inc()
+            response = RpcResponse(request.rpc_id, ok=True, result=results)
             yield from self.transport.sendto(
                 src, response, RPC_HEADER + request.response_size
             )
@@ -329,6 +408,7 @@ class RpcClient:
             f"rpc.client.{self.transport.address}"
         )
         self._calls = self._metrics.counter("calls")
+        self._batched_ops = self._metrics.counter("batched_ops")
         self._retransmits = self._metrics.counter("retransmits")
         self._deadline_exceeded = self._metrics.counter("deadline_exceeded")
         self._budget_exhausted = self._metrics.counter("retry_budget_exhausted")
@@ -385,6 +465,75 @@ class RpcClient:
         """
         request = RpcRequest(next(self._rpc_ids), method, args, response_size,
                              priority=priority)
+        response = yield from self._issue(
+            server, request, request_size, timeout, retries, deadline, policy,
+        )
+        if not response.ok:
+            raise RpcError(response.error)
+        return response.result
+
+    def call_batch(
+        self,
+        server: str,
+        ops: "List[BatchOp]",
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        deadline: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        priority: int = 0,
+    ):
+        """Process: coalesce up to :data:`MAX_BATCH_OPS` ops into one RPC.
+
+        The whole batch travels as a single request (one network round
+        trip, one admission token, one queue slot, one worker dispatch)
+        and is answered with a list of per-op :class:`RpcResponse`
+        objects in op order — a sub-op failure is marshalled in its slot
+        instead of failing the batch. Transport-level failures (timeout,
+        deadline, shed batch) raise :class:`RpcError` for the batch as a
+        whole; retransmission knobs behave exactly as in :meth:`call`
+        (handlers must stay idempotent).
+
+        Args:
+            server: destination address.
+            ops: the :class:`BatchOp` sequence to coalesce (1..64).
+            timeout/retries/deadline/policy/priority: as in :meth:`call`;
+                ``priority`` classes the *whole batch* for admission.
+
+        Returns:
+            ``List[RpcResponse]``, index-aligned with *ops*.
+        """
+        if not 1 <= len(ops) <= MAX_BATCH_OPS:
+            raise ConfigurationError(
+                f"batch needs 1..{MAX_BATCH_OPS} ops, got {len(ops)}"
+            )
+        request_size = sum(op.request_size for op in ops)
+        response_size = sum(op.response_size for op in ops)
+        wire_ops = tuple((op.method, op.args) for op in ops)
+        request = RpcRequest(
+            next(self._rpc_ids), BATCH_METHOD, (wire_ops,), response_size,
+            priority=priority,
+        )
+        self._batched_ops.inc(len(ops))
+        response = yield from self._issue(
+            server, request, request_size, timeout, retries, deadline, policy,
+        )
+        if not response.ok:
+            raise RpcError(response.error)
+        return response.result
+
+    def _issue(
+        self,
+        server: str,
+        request: RpcRequest,
+        request_size: int,
+        timeout: Optional[float],
+        retries: int,
+        deadline: Optional[float],
+        policy: Optional[RetryPolicy],
+    ):
+        """Process: the shared send/retransmit/deadline loop for one id."""
+        method = request.method
         done = Event(self.sim)
         self._pending[request.rpc_id] = done
         started = self.sim.now
@@ -445,6 +594,4 @@ class RpcClient:
             if attempts:
                 span.annotate(retransmits=attempts)
         self._call_latency.observe(self.sim.now - started)
-        if not response.ok:
-            raise RpcError(response.error)
-        return response.result
+        return response
