@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-tables bench-report eval chaos overload scaleout docs examples all
+.PHONY: install test lint bench bench-tables bench-report eval chaos overload scaleout georep docs examples all
 
 install:
 	pip install -e .
@@ -52,6 +52,13 @@ overload:
 scaleout:
 	python -m repro.eval e16
 	pytest tests/test_sharding.py -q
+
+# E17 geo-replication evaluation: consistency-mode sweep plus the
+# region-loss disaster drill (RPO/RTO, zero lost acked writes). The
+# georep unit tests also run under tier-1 `make test`.
+georep:
+	python -m repro.eval e17
+	pytest tests/test_georep.py -q
 
 # Documentation hygiene: markdown link check + doctest'd examples
 # (mirrors the CI docs job).

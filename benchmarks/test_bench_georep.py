@@ -1,0 +1,60 @@
+"""E17 bench: region-scale disaster recovery holds its promises, live.
+
+The geo layer's contract (DESIGN.md §10): async log shipping keeps the
+write path at local cost while bounding the RPO exposure; a full region
+loss under live Zipfian traffic is detected and survived by client-driven
+failover with zero lost *acknowledged* writes; and the heal reconverges
+every region via LWW re-shipping. Expected shape: async acks are an
+order of magnitude cheaper than sync; RTO (detect and steady-state) fits
+well inside the partition window; the post-drill sweep finds no lost or
+diverged keys.
+"""
+
+from conftest import emit
+
+from repro.eval.georep import T_HEAL, T_KILL, format_georep, run_georep
+
+
+def test_bench_georep_drill(benchmark):
+    report = benchmark.pedantic(run_georep, rounds=1, iterations=1)
+    emit(format_georep(report))
+    drill = report.drill
+    # The headline promise: no acknowledged write was lost, and the
+    # regions reconverged after the heal.
+    assert drill.lost_acked_writes == 0
+    assert drill.diverged_keys == 0
+    assert drill.acked_writes > 0
+    assert drill.failed_ops == 0
+    # Recovery objectives fit inside the partition window.
+    outage = T_HEAL - T_KILL
+    assert 0.0 < drill.rto_detect < outage
+    assert drill.rto_detect <= drill.rto_steady < outage
+    # RPO exposure at the kill instant was bounded and measured.
+    assert drill.rpo_entries >= 0
+    assert drill.rpo_seconds < outage
+    # The failover machinery actually engaged.
+    assert drill.failovers > 0
+    assert drill.replayed_writes > 0
+    # Brownout-fed stale reads served during the squeeze, within bound.
+    assert drill.stale_reads_served > 0
+    assert drill.max_staleness_served > 0.0
+    assert drill.brownout_transitions >= 2
+    # Traffic kept flowing through the outage.
+    assert drill.goodput_during > 0.0
+    assert drill.retention_during > 0.0
+
+
+def test_bench_georep_consistency_sweep(benchmark):
+    report = benchmark.pedantic(run_georep, rounds=1, iterations=1)
+    emit(format_georep(report))
+    by_mode = {point.mode: point for point in report.modes}
+    assert set(by_mode) == {"async", "quorum", "sync"}
+    # Stronger modes pay more per write: async < quorum < sync at p99.
+    assert by_mode["async"].put_p99 < by_mode["quorum"].put_p99
+    assert by_mode["quorum"].put_p99 < by_mode["sync"].put_p99
+    # Async's cheap acks come with nonzero replication exposure; sync's
+    # acked writes are already at every peer, so no lag remains.
+    assert by_mode["async"].peak_lag > 0.0
+    assert by_mode["sync"].peak_lag == 0.0
+    # Followers stay heartbeat-fresh in every mode.
+    assert all(p.follower_staleness < 0.05 for p in report.modes)

@@ -41,6 +41,7 @@ from repro.eval.compiler import run_compiler
 from repro.eval.corfu import run_corfu
 from repro.eval.efficiency import run_efficiency
 from repro.eval.fail2ban import run_fail2ban
+from repro.eval.georep import run_georep
 from repro.eval.kvssd import run_kvssd
 from repro.eval.loadbalancer import run_loadbalancer
 from repro.eval.overload import run_overload
@@ -273,6 +274,31 @@ def _scaleout_metrics(report) -> Dict[str, Metric]:
     }
 
 
+def _georep_metrics(report) -> Dict[str, Metric]:
+    drill = report.drill
+    by_mode = {point.mode: point for point in report.modes}
+    return {
+        "rpo_s": Metric(drill.rpo_seconds, LOWER, "s"),
+        "rto_detect_s": Metric(drill.rto_detect, LOWER, "s"),
+        "rto_steady_s": Metric(drill.rto_steady, LOWER, "s"),
+        "lost_acked_writes": Metric(drill.lost_acked_writes, LOWER, "writes"),
+        "diverged_keys": Metric(drill.diverged_keys, LOWER, "keys"),
+        "failover_goodput_retention": Metric(
+            drill.retention_during, HIGHER, "frac"),
+        "failover_goodput_floor_ops": Metric(
+            drill.goodput_floor, HIGHER, "ops/s"),
+        "async_put_p99_s": Metric(by_mode["async"].put_p99, LOWER, "s"),
+        "sync_put_p99_s": Metric(by_mode["sync"].put_p99, LOWER, "s"),
+        "async_peak_lag_s": Metric(by_mode["async"].peak_lag, INFO, "s"),
+        "failovers": Metric(drill.failovers, INFO, "count"),
+        "replayed_writes": Metric(drill.replayed_writes, INFO, "writes"),
+        "stale_reads_served": Metric(
+            drill.stale_reads_served, INFO, "reads"),
+        "report_digest": Metric(0.0, INFO, _digest(report.canonical_bytes())),
+        "telemetry_digest": Metric(0.0, INFO, _digest(report.telemetry)),
+    }
+
+
 def _p2pdma_metrics(points) -> Dict[str, Metric]:
     hyperion = [p for p in points if p.path == "hyperion"]
     largest = max(hyperion, key=lambda p: p.transfer_size)
@@ -325,6 +351,8 @@ SPECS: Tuple[BenchSpec, ...] = (
               run_overload, _overload_metrics, seeded=True),
     BenchSpec("e16", "scale-out data plane: sharding + batching + cache",
               run_scaleout, _scaleout_metrics, seeded=True),
+    BenchSpec("e17", "geo-replication: WAN log shipping + region-loss drill",
+              run_georep, _georep_metrics, seeded=True),
     BenchSpec("p2p", "NIC->SSD bounce vs P2P DMA vs Hyperion",
               run_p2pdma, _p2pdma_metrics),
     BenchSpec("telemetry", "unified telemetry plane",

@@ -20,6 +20,7 @@ from repro.eval.corfu import format_corfu, run_corfu
 from repro.eval.efficiency import format_efficiency, run_efficiency
 from repro.eval.fail2ban import format_fail2ban, run_fail2ban
 from repro.eval.figures import format_figures, run_figures
+from repro.eval.georep import format_georep, run_georep
 from repro.eval.kvssd import format_kvssd, run_kvssd
 from repro.eval.loadbalancer import format_loadbalancer, run_loadbalancer
 from repro.eval.overload import format_overload, run_overload
@@ -86,6 +87,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[Optional[int]], str]]] = {
             _seeded(run_overload, format_overload)),
     "e16": ("E16: scale-out data plane — sharding, batching, hot-key cache",
             _seeded(run_scaleout, format_scaleout)),
+    "e17": ("E17: geo-replication — WAN log shipping + region-loss drill",
+            _seeded(run_georep, format_georep)),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
             _unseeded(run_p2pdma, format_p2pdma)),
     "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",

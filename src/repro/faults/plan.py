@@ -36,6 +36,8 @@ class FaultKind(enum.Enum):
     POWER_LOSS = "power-loss"
     NODE_DOWN = "node-down"
     BACKEND_DOWN = "backend-down"
+    # -- WAN / inter-region
+    WAN_PARTITION = "wan-partition"
 
 
 @dataclass(frozen=True)
@@ -129,6 +131,21 @@ class FaultPlan:
     def windowed(self, name: str, component: str, kind: FaultKind,
                  start: float, end: float) -> FaultSpec:
         return self.add(FaultSpec(name, component, kind, window=(start, end)))
+
+    def wan_partition(self, name: str, src: str, dst: str,
+                      start: float, end: float) -> FaultSpec:
+        """Partition the directional WAN link ``src -> dst`` over a window.
+
+        The window's rising edge is the partition, its falling edge the
+        heal. The component id matches :func:`repro.georep.wan_component`
+        (``wan.{src}->{dst}``), so one spec addresses exactly one
+        direction — model an asymmetric partition by adding only one of
+        the pair, a symmetric one by adding both.
+        """
+        return self.add(FaultSpec(
+            name, f"wan.{src}->{dst}", FaultKind.WAN_PARTITION,
+            window=(start, end),
+        ))
 
     # -- introspection -------------------------------------------------------
     def specs_for(self, component: str, kind: FaultKind) -> List[FaultSpec]:

@@ -1,0 +1,37 @@
+"""Geo-replication: WAN-joined regions, log shipping, region failover.
+
+The region-scale robustness layer (E17). Multiple
+:class:`~repro.sharding.ShardedKvCluster` regions join a
+:class:`WanFabric` of directional, partitionable WAN links; each
+:class:`Region` ships its write log to every peer with tunable
+:class:`Consistency`; a :class:`GeoKvClient` fails over between regions
+behind circuit breakers, replays unacknowledged writes, and serves
+staleness-bounded follower reads when the brownout ladder asks for them.
+"""
+
+from repro.georep.client import GeoKvClient
+from repro.georep.log import Consistency, LogEntry, ReplicationLog
+from repro.georep.region import GeoCluster, LogShipper, Region, WanSpec
+from repro.georep.wan import (
+    DEFAULT_WAN_BANDWIDTH,
+    DEFAULT_WAN_PROPAGATION,
+    WanFabric,
+    WanLink,
+    wan_component,
+)
+
+__all__ = [
+    "Consistency",
+    "DEFAULT_WAN_BANDWIDTH",
+    "DEFAULT_WAN_PROPAGATION",
+    "GeoCluster",
+    "GeoKvClient",
+    "LogEntry",
+    "LogShipper",
+    "Region",
+    "ReplicationLog",
+    "WanFabric",
+    "WanLink",
+    "WanSpec",
+    "wan_component",
+]

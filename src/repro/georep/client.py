@@ -1,0 +1,273 @@
+"""A region-aware KV client: failover, write replay, bounded-stale reads.
+
+The geo analogue of :class:`~repro.dpu.cluster.FailoverKvClient`, one
+level up: instead of replicas inside a rack it walks *regions*, each
+guarded by its own :class:`~repro.overload.CircuitBreaker`. The client
+is **sticky** — after failing over it keeps sending to the surviving
+region rather than re-paying a dead primary's deadline per op — and
+**replays** unacknowledged writes: a put whose ack was lost to a
+partition is re-issued to the next region in preference order (safe,
+because writes are LWW-versioned at the gateways; the replay's fresh
+stamp wins over the stranded original if both eventually replicate).
+
+Reads can be served from the client's *home* region as
+staleness-bounded follower reads: the gateway reports how far behind it
+is on the current primary's writes, and the client only accepts the
+local value when that age is within ``stale_bound``. Wiring in a
+:class:`~repro.overload.BrownoutController` makes this automatic — when
+the ladder reaches its ``serve_stale`` rung, reads shed their WAN round
+trip exactly when the system needs the capacity back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError, DegradedError
+from repro.georep.region import GeoCluster
+from repro.overload import BrownoutController, CircuitBreaker
+from repro.transport import RetryBudget, RpcClient, RpcError, UdpSocket
+
+__all__ = ["GeoKvClient"]
+
+#: Per-attempt wire timing sized for default WAN RTTs (~10 ms).
+CALL_TIMEOUT = 12e-3
+CALL_RETRIES = 1
+CALL_DEADLINE = 30e-3
+#: Pause between full preference-order walks that all failed.
+ROUND_PAUSE = 10e-3
+
+
+class GeoKvClient:
+    """One tenant's geo-replicated KV handle.
+
+    Args:
+        sim: the simulator.
+        cluster: the :class:`~repro.georep.region.GeoCluster` to use.
+        name: unique suffix for this client's endpoint and metrics.
+        home: region whose network hosts this client's endpoint (and
+            serves its bounded-staleness follower reads).
+        preference: region failover order, primary first; defaults to
+            the cluster's region order. Must include *home*.
+        stale_bound: max follower staleness (seconds) accepted when
+            stale reads are active.
+        brownout: optional ladder; while its mode has ``serve_stale``
+            set, reads try the home follower first.
+        retry_budget: optional shared cap on retransmissions, exported
+            under this client's metric path.
+    """
+
+    def __init__(
+        self,
+        sim,
+        cluster: GeoCluster,
+        name: str,
+        home: str,
+        *,
+        preference: Optional[Sequence[str]] = None,
+        timeout: float = CALL_TIMEOUT,
+        retries: int = CALL_RETRIES,
+        deadline: float = CALL_DEADLINE,
+        rounds: int = 3,
+        round_pause: float = ROUND_PAUSE,
+        stale_bound: float = 50e-3,
+        brownout: Optional[BrownoutController] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker_failures: int = 2,
+        breaker_reset: float = 25e-3,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.name = name
+        self.home = home
+        self.preference: List[str] = list(
+            preference if preference is not None else cluster.regions
+        )
+        if home not in self.preference:
+            raise ConfigurationError(f"home {home!r} not in preference list")
+        for region in self.preference:
+            cluster.region(region)  # validate names
+        self.timeout = timeout
+        self.retries = retries
+        self.deadline = deadline
+        self.rounds = rounds
+        self.round_pause = round_pause
+        self.stale_bound = stale_bound
+        self.brownout = brownout
+        #: Region ops are currently routed to (sticky across failovers).
+        self.current = self.preference[0]
+        self.rpc = RpcClient(
+            sim,
+            UdpSocket(sim, cluster.fabric.endpoint(home, f"geo-{name}")),
+            retry_budget=retry_budget,
+        )
+        self._metrics = sim.telemetry.unique_scope(f"geo.client.{name}")
+        self.breakers: Dict[str, CircuitBreaker] = {
+            region: CircuitBreaker(
+                sim, self._metrics.scope(f"breaker.{region}"),
+                failure_threshold=breaker_failures,
+                reset_timeout=breaker_reset,
+            )
+            for region in self.preference
+        }
+        self._ops = self._metrics.counter("ops")
+        self._reads = self._metrics.counter("reads")
+        self._writes = self._metrics.counter("writes")
+        self._failed = self._metrics.counter("failed_ops")
+        self._failovers = self._metrics.counter("failovers")
+        self._replayed = self._metrics.counter("replayed_writes")
+        self._stale_served = self._metrics.counter("stale_reads_served")
+        self._stale_fallbacks = self._metrics.counter("stale_read_fallbacks")
+        self._region_gauge = self._metrics.gauge("current_region")
+        self.max_staleness_served = 0.0
+
+    # -- read-through counters ------------------------------------------------
+    @property
+    def failovers(self) -> int:
+        """Ops answered by a region other than the one tried first."""
+        return self._failovers.value
+
+    @property
+    def replayed_writes(self) -> int:
+        """Writes re-issued after at least one unacknowledged attempt."""
+        return self._replayed.value
+
+    @property
+    def stale_reads_served(self) -> int:
+        """Reads served by the home follower within the staleness bound."""
+        return self._stale_served.value
+
+    # -- routing --------------------------------------------------------------
+    def _ordered(self) -> List[str]:
+        return [self.current] + [
+            region for region in self.preference if region != self.current
+        ]
+
+    def _settle(self, region: str, first: str, attempts: int,
+                write: bool) -> None:
+        if region != first:
+            self._failovers.inc()
+        if write and attempts > 1:
+            self._replayed.inc()
+        if region != self.current:
+            self.current = region
+            self._region_gauge.set(self.preference.index(region))
+
+    def _walk(self, method: str, args: tuple, request_size: int,
+              response_size: int, *, write: bool):
+        """Process: try regions in order until one answers, with replay.
+
+        A full walk that fails everywhere pauses and retries (up to
+        ``rounds`` walks) — during a short total outage writes park here
+        instead of failing, which is what lets the disaster drill
+        promise zero lost *acknowledged* writes: an op is either acked
+        by a region that logged it, or still the client's to retry.
+        """
+        first = self._ordered()[0]
+        attempts = 0
+        for round_index in range(self.rounds):
+            for region in self._ordered():
+                breaker = self.breakers[region]
+                if not breaker.allow():
+                    continue
+                attempts += 1
+                gateway = self.cluster.region(region).address
+                call_args = args + (region,) if method == "geo.get" else args
+                try:
+                    result = yield from self.rpc.call(
+                        gateway, method, *call_args,
+                        request_size=request_size,
+                        response_size=response_size,
+                        timeout=self.timeout, retries=self.retries,
+                        deadline=self.deadline,
+                    )
+                except RpcError:
+                    breaker.record_failure()
+                    continue
+                breaker.record_success()
+                self._settle(region, first, attempts, write)
+                return region, result
+            if round_index + 1 < self.rounds:
+                yield self.sim.timeout(self.round_pause)
+        self._failed.inc()
+        raise DegradedError(
+            f"geo {method} failed in every region after {attempts} attempts"
+        )
+
+    # -- the KV surface -------------------------------------------------------
+    def put(self, key: bytes, value: bytes):
+        """Process: write via the current region; returns (stamp, region)."""
+        key, value = bytes(key), bytes(value)
+        region, stamp = yield from self._walk(
+            "geo.put", (key, value), 48 + len(key) + len(value), 24,
+            write=True,
+        )
+        self._writes.inc()
+        self._ops.inc()
+        return stamp, region
+
+    def delete(self, key: bytes):
+        """Process: delete via the current region; returns (stamp, region)."""
+        key = bytes(key)
+        region, stamp = yield from self._walk(
+            "geo.delete", (key,), 48 + len(key), 24, write=True,
+        )
+        self._writes.inc()
+        self._ops.inc()
+        return stamp, region
+
+    def get(self, key: bytes, *, max_staleness: Optional[float] = None):
+        """Process: read *key*; possibly from the home follower.
+
+        A bounded-staleness local read is attempted when the caller
+        passes ``max_staleness`` or the attached brownout ladder is in a
+        ``serve_stale`` mode. The follower's reported staleness is
+        checked against the bound; too stale falls back to the primary
+        walk, so the bound is a guarantee, not a hint.
+        """
+        key = bytes(key)
+        bound = max_staleness
+        if bound is None and self.brownout is not None \
+                and self.brownout.serve_stale:
+            bound = self.stale_bound
+        if bound is not None and self.home != self.current:
+            value = yield from self._stale_get(key, bound)
+            if value is not _PRIMARY:
+                return value
+        __, (value, __) = yield from self._walk(
+            "geo.get", (key,), 48 + len(key), 136, write=False,
+        )
+        self._reads.inc()
+        self._ops.inc()
+        return value
+
+    def _stale_get(self, key: bytes, bound: float):
+        """Process: home-follower read; ``_PRIMARY`` means fall back."""
+        breaker = self.breakers[self.home]
+        if not breaker.allow():
+            return _PRIMARY
+        gateway = self.cluster.region(self.home).address
+        try:
+            value, staleness = yield from self.rpc.call(
+                gateway, "geo.get", key, self.current,
+                request_size=48 + len(key), response_size=136,
+                timeout=self.timeout, retries=self.retries,
+                deadline=self.deadline,
+            )
+        except RpcError:
+            breaker.record_failure()
+            return _PRIMARY
+        breaker.record_success()
+        if staleness > bound:
+            self._stale_fallbacks.inc()
+            return _PRIMARY
+        self._stale_served.inc()
+        if staleness > self.max_staleness_served:
+            self.max_staleness_served = staleness
+        self._reads.inc()
+        self._ops.inc()
+        return value
+
+
+#: Sentinel: the follower read declined and the primary walk must run.
+_PRIMARY = object()

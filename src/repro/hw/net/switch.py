@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Set, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.hw.net.link import DEFAULT_PROPAGATION, QSFP28_100G, Link
@@ -21,6 +21,7 @@ class Switch:
         self.forward_latency = forward_latency
         self._egress: Dict[str, Link] = {}
         self._blackholed: Set[str] = set()
+        self._blackholed_pairs: Set[Tuple[str, str]] = set()
         self._metrics = sim.telemetry.unique_scope("net.switch")
         self._frames_forwarded = self._metrics.counter("frames_forwarded")
         self._frames_blackholed = self._metrics.counter("frames_blackholed")
@@ -46,6 +47,18 @@ class Switch:
     def is_blackholed(self, address: str) -> bool:
         return address in self._blackholed
 
+    def blackhole_pair(self, src: str, dst: str) -> None:
+        """Silently drop frames from ``src`` to ``dst`` (one direction only).
+
+        Unlike :meth:`blackhole` (a dead endpoint: nothing *reaches* it),
+        this models an asymmetric partition — ``src``'s requests to
+        ``dst`` vanish while ``dst``'s traffic to ``src`` still flows.
+        """
+        self._blackholed_pairs.add((src, dst))
+
+    def restore_pair(self, src: str, dst: str) -> None:
+        self._blackholed_pairs.discard((src, dst))
+
     def attach_ingress(self, link: Link) -> None:
         """Start a forwarding process draining the given ingress link."""
         self.sim.process(self._forward_loop(link))
@@ -54,7 +67,8 @@ class Switch:
         while True:
             frame = yield ingress.receive()
             yield self.sim.timeout(self.forward_latency)
-            if frame.dst in self._blackholed:
+            if (frame.dst in self._blackholed
+                    or (frame.src, frame.dst) in self._blackholed_pairs):
                 self._frames_blackholed.inc()
                 continue
             egress = self._egress.get(frame.dst)

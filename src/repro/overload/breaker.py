@@ -83,6 +83,7 @@ class CircuitBreaker:
         self._probe_successes = 0
         #: (time, from-state, to-state) — canonical per-seed history.
         self.transition_log: List[Tuple[float, str, str]] = []
+        self._metrics = metrics
         self._state_gauge = metrics.gauge("state")
         self._opened = metrics.counter("opened")
         self._half_opened = metrics.counter("half_opened")
@@ -98,6 +99,11 @@ class CircuitBreaker:
         self.transition_log.append(
             (self.clock.now, self.state.value, to.value)
         )
+        # Per-edge counters (e.g. ``transitions.closed_to_open``) so a
+        # Prometheus scrape sees *which* transitions happened, not just
+        # how often each state was entered.
+        edge = (f"{self.state.value}_to_{to.value}").replace("-", "_")
+        self._metrics.counter(f"transitions.{edge}").inc()
         self.state = to
         self._state_gauge.set(_STATE_GAUGE[to])
         if to is BreakerState.OPEN:

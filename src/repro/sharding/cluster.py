@@ -275,13 +275,20 @@ class ShardedKvCluster:
             workers drain it — the wimpy-core service model E16 scales.
         workers: worker processes per bounded server (min 2 so client
             traffic still flows while a worker performs a handoff).
+        name: address prefix for this cluster's DPUs (``{name}-dpu-N``).
+            The default keeps single-cluster deployments unchanged; a
+            geo-replicated deployment gives each region a distinct name
+            so addresses stay globally unique across the WAN fabric.
     """
 
     def __init__(self, sim: Simulator, network: Network, dpu_count: int = 4,
                  ssd_blocks: int = 16384, vnodes: int = DEFAULT_VNODES,
-                 queue_capacity: Optional[int] = None, workers: int = 2):
+                 queue_capacity: Optional[int] = None, workers: int = 2,
+                 name: str = "shard"):
         if dpu_count < 1:
             raise ConfigurationError("need at least one DPU")
+        if not name:
+            raise ConfigurationError("cluster name must be non-empty")
         if queue_capacity is not None and workers < 2:
             raise ConfigurationError(
                 "bounded sharded servers need >= 2 workers (one may block "
@@ -289,6 +296,7 @@ class ShardedKvCluster:
             )
         self.sim = sim
         self.network = network
+        self.name = name
         self.ssd_blocks = ssd_blocks
         self.queue_capacity = queue_capacity
         self.workers = workers
@@ -299,7 +307,9 @@ class ShardedKvCluster:
         self.devices: Dict[str, KvSsd] = {}
         self.servers: Dict[str, RpcServer] = {}
         self.forwarders: Dict[str, ShardForwarder] = {}
-        self._metrics = sim.telemetry.unique_scope("shard.cluster")
+        scope = ("shard.cluster" if name == "shard"
+                 else f"shard.cluster.{name}")
+        self._metrics = sim.telemetry.unique_scope(scope)
         self._nodes_gauge = self._metrics.gauge("nodes")
         self._epoch_gauge = self._metrics.gauge("epoch")
         self._epoch_gauge.set(self.epoch)
@@ -315,7 +325,7 @@ class ShardedKvCluster:
         :class:`~repro.sharding.migration.ShardMigrator` migrates ranges
         onto it and commits the new topology.
         """
-        address = f"shard-dpu-{len(self.addresses)}"
+        address = f"{self.name}-dpu-{len(self.addresses)}"
         controller = NvmeController(self.sim, f"{address}-flash")
         controller.add_namespace(Namespace(1, self.ssd_blocks))
         device = KvSsd(self.sim, controller, memtable_limit=100_000)

@@ -21,7 +21,9 @@ TCP_HEADER = 40
 MSS = MAX_FRAME_PAYLOAD - TCP_HEADER
 #: Protocol processing per segment (checksums, state machine).
 SEGMENT_PROCESSING = 500e-9
-#: Retransmission timeout.
+#: Default retransmission timeout, sized for intra-rack RTTs. Stacks on
+#: WAN-RTT paths must pass a larger ``rto`` to ``TcpStack`` or every
+#: segment retransmits spuriously before the ACK can possibly arrive.
 RTO = 200e-6
 
 _conn_ids = itertools.count()
@@ -89,7 +91,7 @@ class TcpConnection:
                 yield from self.stack.port.send(
                     Frame(self.stack.address, self.peer, segment, chunk + TCP_HEADER)
                 )
-                timeout = sim.timeout(RTO)
+                timeout = sim.timeout(self.stack.rto)
                 outcome = yield sim.any_of([ack_event, timeout])
                 if ack_event in outcome:
                     break
@@ -128,9 +130,12 @@ class TcpConnection:
 class TcpStack:
     """Per-endpoint TCP state: listening, connections, demux."""
 
-    def __init__(self, sim: Simulator, port: NetworkPort):
+    def __init__(self, sim: Simulator, port: NetworkPort, rto: float = RTO):
+        if rto <= 0:
+            raise ProtocolError("rto must be positive")
         self.sim = sim
         self.port = port
+        self.rto = rto
         self.connections: Dict[int, TcpConnection] = {}
         self.accept_queue: Store = Store(sim)
         self._pending_connect: Dict[int, Event] = {}
@@ -150,7 +155,7 @@ class TcpStack:
             yield from self.port.send(
                 Frame(self.address, peer, _Syn(conn_id), TCP_HEADER)
             )
-            timeout = self.sim.timeout(RTO)
+            timeout = self.sim.timeout(self.rto)
             outcome = yield self.sim.any_of([done, timeout])
             if done in outcome:
                 break  # SYN-ACK received

@@ -327,6 +327,43 @@ class TestClusterFailover:
         assert down is False
         assert up is True
 
+    def test_asymmetric_partition_write_lands_but_ack_is_lost(self):
+        """One-directional partition: kv-dpu-0 -> client is blackholed
+        while client -> kv-dpu-0 still flows. Writes *land* at the head
+        replica but their acks vanish, so the client must fail over —
+        and must not count the op as lost."""
+        sim = Simulator()
+        network = Network(sim)
+        cluster = ReplicatedDpuKvCluster(
+            sim, network, dpu_count=3, replication=2, ssd_blocks=16384
+        )
+        client = FailoverKvClient(sim, network, "client", cluster)
+        key = next(
+            k for k in (f"k{i}".encode() for i in range(256))
+            if cluster.replicas_of(k)[0] == "kv-dpu-0"
+        )
+        network.switch.blackhole_pair("kv-dpu-0", "client")
+
+        def scenario():
+            yield from client.put(key, b"payload")
+            value = yield from client.get(key)
+            return value
+
+        value = sim.run_process(scenario())
+        # The op succeeded via the tail replica; nothing was lost.
+        assert value == b"payload"
+        assert client.stats.failed_ops == 0
+        assert client.stats.failovers >= 1
+        assert "kv-dpu-0" in client.stats.marked_down
+        # The request direction was never cut: the head replica applied
+        # the write even though the client never saw its ack.
+        head_value = sim.run_process(cluster.devices[0].get(key))
+        assert head_value == b"payload"
+        # Healing the direction makes the head probeable again.
+        network.switch.restore_pair("kv-dpu-0", "client")
+        assert sim.run_process(client.probe("kv-dpu-0")) is True
+        assert client.health["kv-dpu-0"] is True
+
     def test_replica_chain_is_consecutive(self):
         sim = Simulator()
         cluster = ReplicatedDpuKvCluster(

@@ -39,8 +39,20 @@ from repro.overload import (
     TokenBucket,
 )
 from repro.sim import Simulator
-from repro.telemetry import Sampler, SloMonitor, SloRule
-from repro.transport import RpcClient, RpcError, RpcServer, UdpSocket
+from repro.telemetry import (
+    Sampler,
+    SloMonitor,
+    SloRule,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.transport import (
+    RetryBudget,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    UdpSocket,
+)
 
 
 def advance(sim, dt):
@@ -352,6 +364,48 @@ def make_brownout(sim, dwell=2e-3, recovery=4e-3, rules=None):
         rules=rules,
     )
     return pressure, sampler, controller
+
+
+class TestOverloadPrometheusExport:
+    """Breaker transitions and retry-budget exhaustion are scrapable."""
+
+    def test_breaker_transition_counters_are_scrapable(self):
+        sim = Simulator()
+        breaker = make_breaker(sim)
+        for __ in range(3):
+            breaker.record_failure()  # closed -> open
+        advance(sim, 11e-3)
+        assert breaker.allow()  # open -> half-open probe
+        breaker.record_success()  # half-open -> closed
+        families = parse_prometheus_text(prometheus_text(sim.telemetry))
+
+        def edge(name):
+            family = families[f"repro_brk_transitions_{name}"]
+            assert family.kind == "counter"
+            __, labels, value = family.samples[0]
+            assert labels["path"] == f"brk.transitions.{name}"
+            return value
+
+        assert edge("closed_to_open") == 1.0
+        assert edge("open_to_half_open") == 1.0
+        assert edge("half_open_to_closed") == 1.0
+
+    def test_retry_budget_exhaustion_is_scrapable(self):
+        sim = Simulator()
+        budget = RetryBudget(
+            sim, budget=1, window=1.0,
+            metrics=sim.telemetry.unique_scope("rpc.retry_budget"),
+        )
+        assert budget.try_spend() is True
+        assert budget.try_spend() is False
+        assert budget.try_spend() is False
+        families = parse_prometheus_text(prometheus_text(sim.telemetry))
+        granted = families["repro_rpc_retry_budget_granted"]
+        exhausted = families["repro_rpc_retry_budget_exhausted"]
+        assert granted.kind == "counter"
+        assert granted.samples[0][2] == 1.0
+        assert exhausted.samples[0][2] == 2.0
+        assert exhausted.samples[0][1]["path"] == "rpc.retry_budget.exhausted"
 
 
 def tick(sim, sampler):

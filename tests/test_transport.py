@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ProtocolError
 from repro.hw.net import Network
 from repro.sim import Simulator
 from repro.transport import (
@@ -141,6 +142,70 @@ class TestTcp:
 
         udp_time = sim2.run_process(scenario())
         assert tcp_done[0] > 2 * udp_time
+
+
+class TestTcpRto:
+    """The retransmission timeout is tunable per stack (WAN support)."""
+
+    def test_default_rto_unchanged(self):
+        sim = Simulator()
+        net = make_net(sim)
+        assert TcpStack(sim, net.endpoint("x")).rto == 200e-6
+
+    def test_non_positive_rto_rejected(self):
+        sim = Simulator()
+        net = make_net(sim)
+        with pytest.raises(ProtocolError):
+            TcpStack(sim, net.endpoint("x"), rto=0.0)
+        with pytest.raises(ProtocolError):
+            TcpStack(sim, net.endpoint("y"), rto=-1e-3)
+
+    def test_default_rto_gives_up_on_millisecond_rtt(self):
+        """Regression for the hardwired 200 us RTO: on a ~4 ms-RTT path
+        the SYN timer expires 16 times before the SYN-ACK can possibly
+        arrive, so connect() must fail rather than hang."""
+        sim = Simulator()
+        net = Network(sim, propagation=1e-3)  # two 1 ms hops each way
+        client_stack = TcpStack(sim, net.endpoint("client"))
+        TcpStack(sim, net.endpoint("server"))
+        outcome = []
+
+        def client():
+            try:
+                yield from client_stack.connect("server")
+            except ProtocolError:
+                outcome.append(sim.now)
+
+        sim.process(client())
+        sim.run()
+        # Gave up (16 SYNs x 200 us ~ 3.4 ms), did not hang.
+        assert len(outcome) == 1
+        assert outcome[0] < 5e-3
+
+    def test_raised_rto_carries_millisecond_rtt(self):
+        sim = Simulator()
+        net = Network(sim, propagation=1e-3)
+        client_stack = TcpStack(sim, net.endpoint("client"), rto=10e-3)
+        server_stack = TcpStack(sim, net.endpoint("server"), rto=10e-3)
+        got = []
+        sent = []
+
+        def server():
+            connection = yield server_stack.accept()
+            payload, size = yield connection.recv()
+            got.append((payload, size))
+
+        def client():
+            connection = yield from client_stack.connect("server")
+            yield from connection.send("wan-hello", 500)
+            sent.append(connection)
+
+        sim.process(server())
+        sim.process(client())
+        sim.run()
+        assert got == [("wan-hello", 500)]
+        # The RTO now exceeds the RTT, so nothing retransmits spuriously.
+        assert sent[0].retransmissions == 0
 
 
 class TestRdma:
