@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-tables bench-report eval chaos overload scaleout georep docs examples all
+.PHONY: install test lint bench bench-micro bench-tables bench-report eval chaos overload scaleout georep profile docs examples all
 
 install:
 	pip install -e .
@@ -16,8 +16,18 @@ lint:
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
+# pytest-benchmark micro timings. For the simulator's own throughput
+# (E18/SIM, wall-clock, tracked in BENCH_<n>.json under the >20% gate)
+# use `make bench-micro`, which runs:
+#   - engine events/sec        zero-delay ticker swarm through the core
+#   - RPC round-trips/sec      echo calls over a UDP loopback pair
+#   - histogram observes/sec   Histogram.observe hot-path appends
 bench:
 	pytest benchmarks/ --benchmark-only -q
+
+# E18/SIM simulator-core micro-benchmarks (subset run; not published).
+bench-micro:
+	python -m repro.bench sim
 
 bench-tables:
 	pytest benchmarks/ --benchmark-only -s
@@ -25,7 +35,9 @@ bench-tables:
 # E14 continuous benchmark: run every experiment under the telemetry
 # sampler, publish a canonical BENCH_<n>.json at the repo root, and diff
 # it against the previous artifact (>20% on a tracked latency/throughput
-# is a regression). Same seed => byte-identical artifact.
+# is a regression). Same seed => byte-identical artifact, except the
+# E18/SIM wall-clock metrics, whose within-gate jitter never writes a
+# new artifact (see repro/bench/__init__.py).
 bench-report:
 	python -m repro.bench --check
 
@@ -59,6 +71,11 @@ scaleout:
 georep:
 	python -m repro.eval e17
 	pytest tests/test_georep.py -q
+
+# Simulator hot-spot profile: cProfile over a scaled-down E16 (1 and 2
+# DPU sweep points), top-20 cumulative. Start perf PRs here.
+profile:
+	python tools/profile_sim.py
 
 # Documentation hygiene: markdown link check + doctest'd examples
 # (mirrors the CI docs job).

@@ -36,10 +36,18 @@ def _report(outcome: BenchOutcome) -> str:
                  f"{'':>18}  {total_wall * 1e3:7.1f} ms wall")
     lines.append("")
     if outcome.unchanged:
-        lines.append(
-            f"artifact unchanged: payload is byte-identical to "
-            f"{outcome.compared_against.name}; nothing written"
-        )
+        if outcome.within_noise:
+            lines.append(
+                f"artifact unchanged: differs from "
+                f"{outcome.compared_against.name} only in volatile "
+                f"wall-clock metrics, all within the 20% gate; "
+                f"nothing written"
+            )
+        else:
+            lines.append(
+                f"artifact unchanged: payload is byte-identical to "
+                f"{outcome.compared_against.name}; nothing written"
+            )
         return "\n".join(lines)
     lines.append(f"wrote {outcome.written}")
     if outcome.compared_against is None:

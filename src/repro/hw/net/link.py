@@ -9,6 +9,7 @@ from repro.common.units import gbps
 from repro.faults import FaultInjector, FaultKind
 from repro.hw.net.frames import Frame
 from repro.sim import Resource, Simulator, Store
+from repro.telemetry.tracing import NULL_SPAN as _NULL_SPAN
 
 #: 100 Gbit/s in bytes/second.
 QSFP28_100G = gbps(100)
@@ -72,6 +73,7 @@ class Link:
         if propagation < 0:
             raise ValueError("propagation must be non-negative")
         self.sim = sim
+        self._tracer = sim.tracer
         self.bandwidth = bandwidth
         self.propagation = propagation
         self.rx_queue: Store = Store(sim)
@@ -138,9 +140,13 @@ class Link:
 
     def transmit(self, frame: Frame):
         """Process: serialize the frame, then deliver after propagation."""
-        with self.sim.tracer.span(
+        # net.tx is the highest-frequency span site in the system; the
+        # attrs dict is only built when tracing is actually on.
+        tracer = self._tracer
+        span = tracer.span(
             "net.tx", "net", component=self.component, bytes=frame.wire_size
-        ):
+        ) if tracer.enabled else _NULL_SPAN
+        with span:
             yield self._tx.request()
             try:
                 yield self.sim.timeout(self.serialization_delay(frame))

@@ -1,8 +1,42 @@
-"""Core event loop, events, and generator-driven processes."""
+"""Core event loop, events, and generator-driven processes.
+
+Hot-path design notes (every simulated operation crosses this module):
+
+* All event classes carry ``__slots__`` — at E16 scale the engine
+  allocates millions of events per run, and slotted instances are both
+  smaller and faster to touch than ``__dict__``-backed ones.
+* Queue entries are plain ``(when, eid, event, thunk)`` tuples. ``eid``
+  is a global monotonically increasing sequence number, so ``(when,
+  eid)`` is a total order over everything ever scheduled: same-time
+  events run in exact scheduling order, which is the root of the
+  same-seed => byte-identical guarantee.
+* The dominant ``delay == 0.0`` case (event completions, process
+  wakeups) skips the heap entirely: zero-delay entries go to an append
+  /popleft *immediate lane* (a deque). Because simulated time never
+  moves backwards, every lane entry's timestamp equals the current
+  ``now`` and lane entries are already in ``(when, eid)`` order, so a
+  two-way merge against the heap head preserves the exact total order
+  the single heap produced.
+* Spawning a :class:`Process` does not allocate a bootstrap event: the
+  first generator resume is scheduled directly as a *thunk* entry
+  (``event is None``), consuming one eid exactly like the old bootstrap
+  event did. Interrupt delivery uses the same mechanism.
+* The ``_schedule`` -> push path is inlined at the hot call sites
+  (``Timeout.__init__``, ``succeed``/``fail``, process completion), and
+  ``run()`` inlines the drain loop rather than calling :meth:`step` per
+  entry. ``step()`` remains the single-entry API and both share the
+  exact pop order.
+* Scheduling into the past is rejected (``delay < 0``) — the immediate
+  lane's ordering proof needs monotonic time, and a negative delay was
+  never meaningful in a causal simulation anyway. (:class:`Timeout`
+  already enforced this at construction.)
+"""
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from functools import partial
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.telemetry.metrics import MetricsRegistry
@@ -24,8 +58,11 @@ class Event:
     """A one-shot occurrence that processes can wait on.
 
     An event is *triggered* once :meth:`succeed` or :meth:`fail` is called;
-    its callbacks run when the simulator reaches the trigger time.
+    its callbacks run when the simulator reaches the trigger time (the
+    event's ``_fire_at``, recorded when it is scheduled).
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_fire_at")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -43,7 +80,7 @@ class Event:
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise RuntimeError("event has not been triggered")
         return self._ok
 
@@ -55,11 +92,20 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with an optional payload."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
+        sim = self.sim
+        # Schedule before mutating: a rejected delay (< 0) must leave the
+        # event untriggered. Nothing runs callbacks between the push and
+        # the field writes, so the ordering is unobservable otherwise.
+        if delay == 0.0:
+            self._fire_at = now = sim.now
+            sim._eid = eid = sim._eid + 1
+            sim._imm.append((now, eid, self, None))
+        else:
+            self._fire_at = sim._schedule(self, delay)
         self._value = value
         self._ok = True
-        self.sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -67,19 +113,25 @@ class Event:
 
         The exception is re-raised inside every process waiting on it.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        sim = self.sim
+        if delay == 0.0:
+            self._fire_at = now = sim.now
+            sim._eid = eid = sim._eid + 1
+            sim._imm.append((now, eid, self, None))
+        else:
+            self._fire_at = sim._schedule(self, delay)
         self._value = exception
         self._ok = False
-        self.sim._schedule(self, delay)
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self.callbacks is None:
             # Already processed: run the callback immediately so late
-            # waiters still observe the value.
+            # waiters still observe the value (success or failure alike).
             callback(self)
         else:
             self.callbacks.append(callback)
@@ -88,14 +140,47 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        # Inlined Event.__init__ + schedule: this constructor runs once
+        # per modeled latency, which makes it the hottest allocation site
+        # in the whole simulation.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
         self._ok = True
-        sim._schedule(self, delay)
+        self.delay = delay
+        sim._eid = eid = sim._eid + 1
+        if delay == 0.0:
+            self._fire_at = now = sim.now
+            sim._imm.append((now, eid, self, None))
+        else:
+            self._fire_at = when = sim.now + delay
+            heappush(sim._heap, (when, eid, self, None))
+
+
+class _Bootstrap:
+    """Sentinel 'event' that resumes a process generator for the first time."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_BOOT = _Bootstrap()
+
+
+class _Poke:
+    """Sentinel 'event' that delivers an :class:`Interrupt` into a process."""
+
+    __slots__ = ("_value",)
+    _ok = False
+
+    def __init__(self, exc: BaseException):
+        self._value = exc
 
 
 class Process(Event):
@@ -105,51 +190,54 @@ class Process(Event):
     value when the generator finishes, or fails with the uncaught exception.
     """
 
+    __slots__ = ("_generator", "_waiting_on", "_resume_cb")
+
     def __init__(self, sim: "Simulator", generator: Generator):
-        super().__init__(sim)
         if not hasattr(generator, "send"):
             raise TypeError("Process requires a generator")
+        Event.__init__(self, sim)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Kick off the process on the next simulator step.
-        bootstrap = Event(sim)
-        bootstrap._value = None
-        sim._schedule(bootstrap, 0.0)
-        bootstrap._add_callback(self._resume)
+        # One bound method per process instead of one per yield: the same
+        # callback object is appended to every event this process waits on.
+        self._resume_cb = self._resume
+        # Kick off the process on the next simulator step. Scheduled as a
+        # bare thunk: no bootstrap Event allocation, same eid accounting.
+        sim._schedule_thunk(self._bootstrap)
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING
+
+    def _bootstrap(self) -> None:
+        self._resume(_BOOT)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        poke = Event(self.sim)
-        poke._value = Interrupt(cause)
-        poke._ok = False
-        self.sim._schedule(poke, 0.0)
-        # Detach from whatever we were waiting on; the stale event's
-        # callback becomes a no-op because _waiting_on no longer matches.
-        poke._add_callback(self._resume_interrupt)
+        poke = _Poke(Interrupt(cause))
 
-    def _resume_interrupt(self, poke: Event) -> None:
-        if self.triggered:
-            return
-        self._waiting_on = None
-        self._step(poke)
+        def deliver() -> None:
+            if self._value is not _PENDING:
+                return
+            # Detach from whatever we were waiting on; the stale event's
+            # callback becomes a no-op because _waiting_on no longer
+            # matches.
+            self._waiting_on = None
+            self._resume(poke)
 
-    def _resume(self, event: Event) -> None:
+        self.sim._schedule_thunk(deliver)
+
+    def _resume(self, event) -> None:
         # Ignore wakeups after the process finished, or from events we
         # stopped waiting on (interrupts).
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if self._waiting_on is not None and event is not self._waiting_on:
+        waiting = self._waiting_on
+        if waiting is not None and event is not waiting:
             return
         self._waiting_on = None
-        self._step(event)
-
-    def _step(self, event: Event) -> None:
         try:
             if event._ok:
                 target = self._generator.send(event._value)
@@ -158,26 +246,39 @@ class Process(Event):
         except StopIteration as stop:
             self._value = stop.value
             self._ok = True
-            self.sim._schedule(self, 0.0)
+            sim = self.sim
+            self._fire_at = now = sim.now
+            sim._eid = eid = sim._eid + 1
+            sim._imm.append((now, eid, self, None))
             return
         except BaseException as exc:  # noqa: BLE001 - propagate via event
             self._value = exc
             self._ok = False
-            self.sim._schedule(self, 0.0)
+            sim = self.sim
+            self._fire_at = now = sim.now
+            sim._eid = eid = sim._eid + 1
+            sim._imm.append((now, eid, self, None))
             return
         if not isinstance(target, Event):
             raise TypeError(
                 f"process yielded {target!r}; processes must yield Event objects"
             )
         self._waiting_on = target
-        target._add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already processed: resume immediately (late waiter).
+            self._resume(target)
+        else:
+            callbacks.append(self._resume_cb)
 
 
 class _MultiEvent(Event):
     """Base for AnyOf/AllOf composition events."""
 
+    __slots__ = ("events", "_done")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self.events = list(events)
         self._done = 0
         if not self.events:
@@ -191,18 +292,32 @@ class _MultiEvent(Event):
 
 
 class AnyOf(_MultiEvent):
-    """Triggers when the first of its child events triggers."""
+    """Triggers when the first of its child events triggers.
+
+    The result dict contains every successful child whose occurrence
+    time has arrived: children already processed by the event loop *and*
+    children that triggered with a fire time at (or before) the current
+    timestamp but are still queued behind this one. A ``Timeout`` or a
+    ``succeed(delay=...)`` due strictly in the future is excluded — it
+    has not happened yet — but a same-timestamp completion is never
+    silently dropped just because its callbacks have not run yet (the
+    old ``processed``-only filter's bug, pinned by a regression test).
+    """
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if event._ok:
-            # Collect events that have been *processed* by the event loop
-            # (Timeouts are "triggered" from creation, so `triggered` would
-            # wrongly include pending ones).
-            self.succeed(
-                {e: e._value for e in self.events if e.processed and e._ok}
-            )
+            now = self.sim.now
+            self.succeed({
+                e: e._value for e in self.events
+                if e._ok and (
+                    e.callbacks is None
+                    or (e._value is not _PENDING and e._fire_at <= now)
+                )
+            })
         else:
             self.fail(event._value)
 
@@ -210,8 +325,10 @@ class AnyOf(_MultiEvent):
 class AllOf(_MultiEvent):
     """Triggers when all child events have triggered."""
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             self.fail(event._value)
@@ -222,14 +339,25 @@ class AllOf(_MultiEvent):
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of triggered events."""
+    """The event loop: a time-ordered heap plus a zero-delay fast lane."""
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List = []
+        #: Zero-delay fast lane; every entry's time equals the current
+        #: ``now`` and eids are appended in increasing order, so the
+        #: deque is always sorted by (when, eid).
+        self._imm: deque = deque()
         self._eid = 0
         self._telemetry: Optional[MetricsRegistry] = None
         self._tracer: Optional[Tracer] = None
+        # C-level factories: shadow the identically-named methods below
+        # with ``partial`` objects, skipping one Python call frame per
+        # spawned event/timeout/process (the methods stay as the
+        # documented API surface).
+        self.event = partial(Event, self)
+        self.timeout = partial(Timeout, self)
+        self.process = partial(Process, self)
 
     # -- telemetry ---------------------------------------------------------
     @property
@@ -252,9 +380,23 @@ class Simulator:
         return self._tracer
 
     # -- scheduling --------------------------------------------------------
-    def _schedule(self, event: Event, delay: float) -> None:
-        self._eid += 1
-        heapq.heappush(self._heap, (self.now + delay, self._eid, event))
+    def _schedule(self, event: Event, delay: float) -> float:
+        """Queue *event* after *delay*; returns its absolute fire time."""
+        self._eid = eid = self._eid + 1
+        if delay == 0.0:
+            when = self.now
+            self._imm.append((when, eid, event, None))
+        else:
+            if delay < 0:
+                raise ValueError(f"cannot schedule into the past: {delay}")
+            when = self.now + delay
+            heappush(self._heap, (when, eid, event, None))
+        return when
+
+    def _schedule_thunk(self, thunk: Callable[[], None]) -> None:
+        """Schedule a bare callable at the current time (one eid, no Event)."""
+        self._eid = eid = self._eid + 1
+        self._imm.append((self.now, eid, None, thunk))
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
@@ -274,25 +416,86 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event in the heap."""
-        when, __, event = heapq.heappop(self._heap)
+        """Process the single next entry in exact (when, eid) order."""
+        imm = self._imm
+        if imm:
+            heap = self._heap
+            if heap:
+                head = heap[0]
+                first = imm[0]
+                # Heap entries are >= now; lane entries are == now. The
+                # heap head wins only on a same-time, smaller-eid tie.
+                if head[0] < first[0] or (
+                    head[0] == first[0] and head[1] < first[1]
+                ):
+                    entry = heappop(heap)
+                else:
+                    entry = imm.popleft()
+            else:
+                entry = imm.popleft()
+        else:
+            entry = heappop(self._heap)
+        when, __, event, thunk = entry
         self.now = when
+        if event is None:
+            thunk()
+            return
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or simulated time passes ``until``."""
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
+        """Run until the queues drain or simulated time passes ``until``.
+
+        Boundary semantics (pinned by tests): entries scheduled exactly
+        at ``until`` still run; the first entry strictly later does not,
+        and the clock is left at ``until`` — also when the queues drain
+        before reaching it.
+        """
+        imm = self._imm
+        heap = self._heap
+        if until is None:
+            # Drain loop with the step body inlined: one call frame per
+            # event saved, identical (when, eid) pop order.
+            while True:
+                if imm:
+                    if heap:
+                        head = heap[0]
+                        first = imm[0]
+                        if head[0] < first[0] or (
+                            head[0] == first[0] and head[1] < first[1]
+                        ):
+                            entry = heappop(heap)
+                        else:
+                            entry = imm.popleft()
+                    else:
+                        entry = imm.popleft()
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    return
+                when, __, event, thunk = entry
+                self.now = when
+                if event is None:
+                    thunk()
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+        else:
+            step = self.step
+            while imm or heap:
+                # The lane front (== now) is never later than the heap
+                # head, so it is the next event time when non-empty.
+                when = imm[0][0] if imm else heap[0][0]
+                if when > until:
+                    self.now = until
+                    return
+                step()
+            if until > self.now:
                 self.now = until
-                return
-            self.step()
-        if until is not None and until > self.now:
-            self.now = until
 
     def run_process(self, generator: Generator) -> Any:
         """Convenience: run a generator to completion and return its value."""

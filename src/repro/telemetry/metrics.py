@@ -160,6 +160,14 @@ class Histogram(Metric):
 
     Buckets give the canonical snapshot and the rendered distribution;
     the raw samples give *exact* quantiles (see :func:`percentile`).
+
+    Recording is the hot path (every RPC, NVMe command, and queue
+    sojourn observes a latency), so :meth:`observe` is a single list
+    append. The bucket counts and the running sum are materialized
+    lazily, on first read, from the samples recorded since the last
+    materialization — same left-to-right float additions, same
+    ``bisect`` binning, so every derived value is *bit-identical* to
+    what eager per-observe accounting produced.
     """
 
     kind = "histogram"
@@ -178,13 +186,40 @@ class Histogram(Metric):
         self._counts = [0] * (len(bounds) + 1)
         self._samples: List[float] = []
         self._sum = 0.0
+        # Lazy-materialization cursors: samples[:_binned] are reflected
+        # in _counts, samples[:_summed] in _sum.
+        self._binned = 0
+        self._summed = 0
 
     # -- recording -----------------------------------------------------------
     def observe(self, value: float) -> None:
-        """Record one sample into its bucket and the raw-sample list."""
+        """Record one sample; binning and summing are deferred to reads."""
         self._samples.append(value)
-        self._sum += value
-        self._counts[bisect_left(self.bounds, value)] += 1
+
+    # -- lazy materialization ------------------------------------------------
+    def _materialized_sum(self) -> float:
+        samples = self._samples
+        fresh = len(samples)
+        if self._summed != fresh:
+            # Sequential left-to-right additions from the previous
+            # partial sum: the exact float result of eager ``+=``.
+            total = self._sum
+            for value in samples[self._summed:]:
+                total += value
+            self._sum = total
+            self._summed = fresh
+        return self._sum
+
+    def _materialized_counts(self) -> List[int]:
+        samples = self._samples
+        fresh = len(samples)
+        if self._binned != fresh:
+            counts = self._counts
+            bounds = self.bounds
+            for value in samples[self._binned:]:
+                counts[bisect_left(bounds, value)] += 1
+            self._binned = fresh
+        return self._counts
 
     # -- reading -------------------------------------------------------------
     @property
@@ -195,7 +230,7 @@ class Histogram(Metric):
     @property
     def sum(self) -> float:
         """Sum of all observed samples."""
-        return self._sum
+        return self._materialized_sum()
 
     @property
     def samples(self) -> Tuple[float, ...]:
@@ -205,7 +240,9 @@ class Histogram(Metric):
     @property
     def mean(self) -> float:
         """Arithmetic mean of the samples (0.0 when empty)."""
-        return self._sum / len(self._samples) if self._samples else 0.0
+        if not self._samples:
+            return 0.0
+        return self._materialized_sum() / len(self._samples)
 
     @property
     def pstdev(self) -> float:
@@ -255,7 +292,7 @@ class Histogram(Metric):
         """(upper bound, count) pairs; the last bound is None (overflow)."""
         bounds: List[Optional[float]] = list(self.bounds)
         bounds.append(None)
-        return list(zip(bounds, self._counts))
+        return list(zip(bounds, self._materialized_counts()))
 
     def snapshot_line(self) -> str:
         """One canonical line for :meth:`MetricsRegistry.snapshot_bytes`."""
@@ -263,9 +300,10 @@ class Histogram(Metric):
             f"p{int(f * 100):02d}={percentile(self._samples, f)!r}"
             for f in (0.50, 0.90, 0.99)
         )
-        buckets = ",".join(str(c) for c in self._counts)
+        buckets = ",".join(str(c) for c in self._materialized_counts())
         return (
-            f"histogram {self.name} count={self.count} sum={self._sum!r} "
+            f"histogram {self.name} count={self.count} "
+            f"sum={self._materialized_sum()!r} "
             f"min={self.min!r} max={self.max!r} {quantiles} "
             f"buckets={buckets}"
         )
@@ -288,6 +326,18 @@ class MetricScope:
         self.registry = registry
         self.prefix = prefix
 
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    @prefix.setter
+    def prefix(self, value: str) -> None:
+        # The dotted-path head is built once per (re)naming, not per
+        # metric registration — path strings are assembled with a single
+        # concatenation in :meth:`_path`.
+        self._prefix = value
+        self._dot = value + "." if value else ""
+
     @staticmethod
     def standalone(prefix: str) -> "MetricScope":
         """A scope over a fresh private registry, for components built
@@ -295,7 +345,7 @@ class MetricScope:
         return MetricsRegistry().scope(prefix)
 
     def _path(self, name: str) -> str:
-        return f"{self.prefix}.{name}" if self.prefix else name
+        return self._dot + name
 
     def counter(self, name: str) -> Counter:
         """The counter at ``prefix.name`` (created on first use)."""

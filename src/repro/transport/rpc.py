@@ -20,8 +20,13 @@ from repro.overload.admission import AdmissionController, Priority
 from repro.overload.queues import BoundedQueue, QueuePolicy
 from repro.sim import Event, Simulator
 from repro.telemetry import MetricScope
+from repro.telemetry.tracing import NULL_SPAN
 
 RPC_HEADER = 16
+
+#: Highest shed class, hoisted so request classification does not
+#: enumerate the Priority enum on every dispatch.
+_MAX_PRIORITY = max(Priority).value
 
 #: Reserved method name for coalesced batches (built into every server).
 BATCH_METHOD = "rpc.batch"
@@ -125,30 +130,49 @@ class RetryPolicy:
         return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
 
 
-@dataclass
 class RpcRequest:
-    """The wire request: id, method name, arguments, expected reply size."""
+    """The wire request: id, method name, arguments, expected reply size.
 
-    rpc_id: int
-    method: str
-    args: tuple
-    response_size: int
-    #: Load-shedding class (:class:`repro.overload.Priority` value):
-    #: 0 = user, higher = shed earlier under overload.
-    priority: int = 0
+    A ``__slots__`` value object (one per call, two tuple-sized fields
+    smaller than a ``__dict__``-backed dataclass) — the wire objects sit
+    on the per-op fast path, so their footprint is part of the RPC cost.
+    """
+
+    __slots__ = ("rpc_id", "method", "args", "response_size", "priority")
+
+    def __init__(self, rpc_id: int, method: str, args: tuple,
+                 response_size: int, priority: int = 0):
+        self.rpc_id = rpc_id
+        self.method = method
+        self.args = args
+        self.response_size = response_size
+        #: Load-shedding class (:class:`repro.overload.Priority` value):
+        #: 0 = user, higher = shed earlier under overload.
+        self.priority = priority
+
+    def __repr__(self) -> str:
+        return (f"RpcRequest(rpc_id={self.rpc_id}, method={self.method!r}, "
+                f"args={self.args!r}, response_size={self.response_size}, "
+                f"priority={self.priority})")
 
 
-@dataclass
 class RpcResponse:
     """The wire response: matching id, result or marshalled error."""
 
-    rpc_id: int
-    ok: bool
-    result: Any = None
-    error: str = ""
+    __slots__ = ("rpc_id", "ok", "result", "error")
+
+    def __init__(self, rpc_id: int, ok: bool, result: Any = None,
+                 error: str = ""):
+        self.rpc_id = rpc_id
+        self.ok = ok
+        self.result = result
+        self.error = error
+
+    def __repr__(self) -> str:
+        return (f"RpcResponse(rpc_id={self.rpc_id}, ok={self.ok}, "
+                f"result={self.result!r}, error={self.error!r})")
 
 
-@dataclass(frozen=True)
 class BatchOp:
     """One sub-operation inside a coalesced :data:`BATCH_METHOD` request.
 
@@ -158,32 +182,46 @@ class BatchOp:
     amortized over every op.
     """
 
-    method: str
-    args: tuple = ()
-    request_size: int = 64
-    response_size: int = 64
+    __slots__ = ("method", "args", "request_size", "response_size")
+
+    def __init__(self, method: str, args: tuple = (),
+                 request_size: int = 64, response_size: int = 64):
+        self.method = method
+        self.args = args
+        self.request_size = request_size
+        self.response_size = response_size
+
+    def __repr__(self) -> str:
+        return (f"BatchOp(method={self.method!r}, args={self.args!r}, "
+                f"request_size={self.request_size}, "
+                f"response_size={self.response_size})")
 
 
 class _DatagramAdapter:
-    """Uniform sendto/recv interface over UDP and HOMA sockets."""
+    """Uniform sendto/recv interface over UDP and HOMA sockets.
+
+    The socket's send/receive entry points are resolved once at
+    construction (not ``hasattr``-probed per datagram), and
+    :meth:`sendto` hands back the socket's generator directly instead of
+    wrapping it in a delegating generator frame.
+    """
+
+    __slots__ = ("socket", "_send", "_recv")
 
     def __init__(self, socket: Any):
         self.socket = socket
+        self._send = getattr(socket, "sendto", None) or socket.send
+        self._recv = getattr(socket, "recvfrom", None) or socket.recv
 
     @property
     def address(self) -> str:
         return self.socket.address
 
     def sendto(self, dst: str, payload: Any, size: int):
-        if hasattr(self.socket, "sendto"):
-            yield from self.socket.sendto(dst, payload, size)
-        else:
-            yield from self.socket.send(dst, payload, size)
+        return self._send(dst, payload, size)
 
     def recv(self):
-        if hasattr(self.socket, "recvfrom"):
-            return self.socket.recvfrom()
-        return self.socket.recv()
+        return self._recv()
 
 
 class RpcServer:
@@ -217,6 +255,7 @@ class RpcServer:
         codel_interval: float = 10e-3,
     ):
         self.sim = sim
+        self._tracer = sim.tracer
         self.transport = _DatagramAdapter(socket)
         self._handlers: Dict[str, Callable] = {}
         self._metrics = sim.telemetry.unique_scope(
@@ -273,8 +312,7 @@ class RpcServer:
 
     @staticmethod
     def _priority_of(request: RpcRequest) -> Priority:
-        return Priority(max(0, min(int(request.priority),
-                                   max(Priority).value)))
+        return Priority(max(0, min(int(request.priority), _MAX_PRIORITY)))
 
     def _reject(self, src: str, request: RpcRequest, reason: str):
         """Process: an immediate, header-sized overload error response."""
@@ -328,10 +366,14 @@ class RpcServer:
             )
             yield from self.transport.sendto(src, response, RPC_HEADER)
             return
-        with self.sim.tracer.span(
+        # Attribute dicts for spans are only built when tracing is on;
+        # the disabled path allocates nothing (NULL_SPAN is a singleton).
+        tracer = self._tracer
+        span = tracer.span(
             "rpc.handle", "transport",
             method=request.method, server=self.transport.address,
-        ):
+        ) if tracer.enabled else NULL_SPAN
+        with span:
             try:
                 outcome = handler(*request.args)
                 if hasattr(outcome, "send"):  # a generator: run it in sim time
@@ -354,10 +396,12 @@ class RpcServer:
         marshalled per-op; the batch response itself always succeeds.
         """
         (ops,) = request.args
-        with self.sim.tracer.span(
+        tracer = self._tracer
+        span = tracer.span(
             "rpc.handle", "transport",
             method=BATCH_METHOD, server=self.transport.address, ops=len(ops),
-        ):
+        ) if tracer.enabled else NULL_SPAN
+        with span:
             results = []
             for position, (method, args) in enumerate(ops):
                 handler = self._handlers.get(method)
@@ -396,6 +440,7 @@ class RpcClient:
     def __init__(self, sim: Simulator, socket: Any,
                  retry_budget: Optional[RetryBudget] = None):
         self.sim = sim
+        self._tracer = sim.tracer
         self.transport = _DatagramAdapter(socket)
         self.retry_budget = retry_budget
         self._pending: Dict[int, Event] = {}
@@ -540,9 +585,11 @@ class RpcClient:
         rng = policy.rng_for(request.rpc_id) if policy is not None else None
         attempts = 0
         self._calls.inc()
-        with self.sim.tracer.span(
+        tracer = self._tracer
+        span = tracer.span(
             "rpc.call", "transport", method=method, server=server,
-        ) as span:
+        ) if tracer.enabled else NULL_SPAN
+        with span:
             while True:
                 yield from self.transport.sendto(
                     server, request, RPC_HEADER + request_size

@@ -1,0 +1,60 @@
+"""The E18/SIM simulator-core micro-benchmarks (repro.bench.micro)."""
+
+import pytest
+
+import repro.bench.micro as micro
+from repro.bench import SPECS
+from repro.bench.micro import run_micro
+
+
+@pytest.fixture()
+def tiny_workloads(monkeypatch):
+    """Shrink the workloads so the smoke test runs in milliseconds."""
+    monkeypatch.setattr(micro, "ENGINE_PROCESSES", 2)
+    monkeypatch.setattr(micro, "ENGINE_TICKS", 50)
+    monkeypatch.setattr(micro, "RPC_CALLS", 5)
+    monkeypatch.setattr(micro, "OBSERVE_SAMPLES", 200)
+
+
+class TestRunMicro:
+    def test_report_shape(self, tiny_workloads):
+        report = run_micro(seed=0, repeats=1)
+        # Throughputs are wall-clock and machine-dependent; only their
+        # positivity and rounding are checkable.
+        assert report.events_per_sec > 0
+        assert report.rpc_roundtrips_per_sec > 0
+        assert report.observes_per_sec > 0
+        for rate in (report.events_per_sec, report.rpc_roundtrips_per_sec,
+                     report.observes_per_sec):
+            assert rate == float(round(rate))
+        # The workload counts are deterministic companions.
+        assert report.events_run == 2 * (50 + 2)
+        assert report.rpc_roundtrips == 5
+        assert report.observes == 200
+        assert report.repeats == 1
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            run_micro(repeats=0)
+
+    def test_registered_in_suite_as_sim(self):
+        spec = next(s for s in SPECS if s.key == "sim")
+        assert spec.run is run_micro
+        assert spec.seeded
+
+    def test_sim_metrics_are_volatile_throughputs(self, tiny_workloads):
+        spec = next(s for s in SPECS if s.key == "sim")
+        metrics = spec.extract(run_micro(seed=0, repeats=1))
+        tracked = {
+            name: m for name, m in metrics.items() if m.better == "higher"
+        }
+        assert set(tracked) == {
+            "engine_events_per_sec",
+            "rpc_roundtrips_per_sec",
+            "histogram_observes_per_sec",
+        }
+        # Wall-clock numbers must carry the volatile tag so within-gate
+        # jitter never churns the artifact history.
+        assert all(m.volatile for m in tracked.values())
+        info = {name: m for name, m in metrics.items() if m.better == "info"}
+        assert all(not m.volatile for m in info.values())

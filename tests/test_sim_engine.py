@@ -282,3 +282,215 @@ class TestComposition:
 
         with pytest.raises(RuntimeError, match="deadlock"):
             sim.run_process(stuck())
+
+
+class TestAnyOfSemantics:
+    """Pins AnyOf's result collection: every successful child whose
+    occurrence time has arrived is in the dict — including same-timestamp
+    children still queued behind the winner (the old ``processed``-only
+    filter silently dropped those)."""
+
+    def test_same_timestamp_child_included(self):
+        sim = Simulator()
+
+        def proc():
+            a = sim.timeout(1.0, value="a")
+            b = sim.timeout(1.0, value="b")
+            results = yield sim.any_of([a, b])
+            return {e.value for e in results}
+
+        # b fires at the same instant as a; it must not be dropped just
+        # because its callbacks have not run yet.
+        assert sim.run_process(proc()) == {"a", "b"}
+
+    def test_future_child_excluded(self):
+        sim = Simulator()
+
+        def proc():
+            fast = sim.timeout(1.0, value="fast")
+            slow = sim.timeout(5.0, value="slow")
+            results = yield sim.any_of([fast, slow])
+            return (sim.now, [e.value for e in results])
+
+        assert sim.run_process(proc()) == (1.0, ["fast"])
+
+    def test_same_time_manual_succeeds_included(self):
+        sim = Simulator()
+        one, two = sim.event(), sim.event()
+
+        def trigger():
+            yield sim.timeout(1.0)
+            one.succeed("one")
+            two.succeed("two")
+
+        def waiter():
+            results = yield sim.any_of([one, two])
+            return sorted(results.values())
+
+        sim.process(trigger())
+        proc = sim.process(waiter())
+        sim.run()
+        assert proc.value == ["one", "two"]
+
+    def test_delayed_succeed_excluded_until_due(self):
+        sim = Simulator()
+        soon, later = sim.event(), sim.event()
+
+        def trigger():
+            yield sim.timeout(1.0)
+            later.succeed("later", delay=3.0)  # due at t=4, not yet
+            soon.succeed("soon")
+
+        def waiter():
+            results = yield sim.any_of([soon, later])
+            return (sim.now, sorted(results.values()))
+
+        sim.process(trigger())
+        proc = sim.process(waiter())
+        sim.run()
+        assert proc.value == (1.0, ["soon"])
+
+
+class TestEngineEdges:
+    def test_interrupt_while_waiting_on_any_of(self):
+        sim = Simulator()
+        resumed = []
+
+        def sleeper():
+            a = sim.timeout(10.0, value="a")
+            b = sim.timeout(20.0, value="b")
+            try:
+                yield sim.any_of([a, b])
+                resumed.append("any_of")
+            except Interrupt as intr:
+                resumed.append(("interrupted", intr.cause, sim.now))
+
+        def poker(target):
+            yield sim.timeout(1.0)
+            target.interrupt("cancel")
+
+        target = sim.process(sleeper())
+        sim.process(poker(target))
+        sim.run()
+        # The interrupt wins; the children firing later must not resume
+        # the process a second time.
+        assert resumed == [("interrupted", "cancel", 1.0)]
+        assert target.triggered
+
+    def test_fail_then_late_waiter_raises(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.fail(RuntimeError("early failure"))
+
+        def late():
+            yield sim.timeout(5.0)
+            try:
+                yield gate  # already processed: late _add_callback path
+            except RuntimeError as exc:
+                return ("raised", str(exc), sim.now)
+
+        assert sim.run_process(late()) == ("raised", "early failure", 5.0)
+
+    def test_late_add_callback_on_failed_event_runs_immediately(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.fail(ValueError("boom"))
+        sim.run()
+        assert gate.processed and not gate.ok
+        seen = []
+        gate._add_callback(seen.append)
+        assert seen == [gate]
+
+    def test_same_time_ordering_across_fast_lane_and_heap(self):
+        # At t=1.0 the heap holds entries scheduled at t=0 while the fast
+        # lane receives zero-delay continuations; the merge must follow
+        # exact (time, eid) scheduling order: a's heap timeout (older
+        # eid), then b's (younger eid), then a's zero-delay continuation
+        # (youngest eid, lane).
+        sim = Simulator()
+        log = []
+
+        def a():
+            yield sim.timeout(1.0)
+            log.append("a1")
+            yield sim.timeout(0.0)
+            log.append("a2")
+
+        def b():
+            yield sim.timeout(1.0)
+            log.append("b1")
+
+        sim.process(a())
+        sim.process(b())
+        sim.run()
+        assert log == ["a1", "b1", "a2"]
+
+    def test_run_until_boundary_is_inclusive(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield sim.timeout(5.0)
+            log.append("at-boundary")
+            yield sim.timeout(0.0)
+            log.append("still-at-boundary")
+            yield sim.timeout(0.1)
+            log.append("past-boundary")
+
+        sim.process(worker())
+        sim.run(until=5.0)
+        # Entries exactly at the boundary run (zero-delay ones too); the
+        # first strictly-later entry does not, and the clock parks there.
+        assert log == ["at-boundary", "still-at-boundary"]
+        assert sim.now == 5.0
+        sim.run()
+        assert log[-1] == "past-boundary"
+
+    def test_run_until_past_drain_advances_clock(self):
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(2.0)
+
+        sim.process(worker())
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_negative_succeed_delay_rejected_and_harmless(self):
+        sim = Simulator()
+        gate = sim.event()
+        with pytest.raises(ValueError):
+            gate.succeed("nope", delay=-1.0)
+        # The failed trigger must leave the event untriggered and usable.
+        assert not gate.triggered
+        gate.succeed("ok")
+        sim.run()
+        assert gate.value == "ok"
+
+    def test_negative_fail_delay_rejected_and_harmless(self):
+        sim = Simulator()
+        gate = sim.event()
+        with pytest.raises(ValueError):
+            gate.fail(RuntimeError("nope"), delay=-1.0)
+        assert not gate.triggered
+
+    def test_step_matches_run_order(self):
+        def schedule(sim, log):
+            def worker(name, delay):
+                yield sim.timeout(delay)
+                log.append(name)
+                yield sim.timeout(0.0)
+                log.append(name + "'")
+
+            sim.process(worker("x", 1.0))
+            sim.process(worker("y", 1.0))
+
+        run_log, step_log = [], []
+        sim = Simulator()
+        schedule(sim, run_log)
+        sim.run()
+        sim2 = Simulator()
+        schedule(sim2, step_log)
+        while sim2._imm or sim2._heap:
+            sim2.step()
+        assert step_log == run_log

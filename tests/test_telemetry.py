@@ -154,6 +154,93 @@ class TestHistogramQuantiles:
         assert "count=0" in reg.render()
 
 
+class TestLazyHistogramMaterialization:
+    """``observe`` is a bare append; the deferred sum/bin accounting must
+    be *bit-identical* to eager per-observe accounting, reads interleaved
+    or not."""
+
+    def test_interleaved_reads_match_eager_accounting(self):
+        from bisect import bisect_left
+
+        rng = random.Random(7)
+        h = Histogram("lat")
+        eager_sum = 0.0
+        eager_counts = [0] * (len(h.bounds) + 1)
+        for index in range(2000):
+            value = rng.lognormvariate(-6, 2)
+            h.observe(value)
+            eager_sum += value
+            eager_counts[bisect_left(h.bounds, value)] += 1
+            if index % 157 == 0:
+                # Interleaved reads materialize partial tails; the float
+                # sum must still equal sequential eager += exactly.
+                assert h.sum == eager_sum
+                assert h.count == index + 1
+        assert h.sum == eager_sum
+        assert [count for __, count in h.bucket_counts()] == eager_counts
+
+    def test_snapshot_line_independent_of_read_pattern(self):
+        rng = random.Random(13)
+        samples = [rng.expovariate(1000.0) for __ in range(500)]
+        read_often, read_once = Histogram("lat"), Histogram("lat")
+        for index, value in enumerate(samples):
+            read_often.observe(value)
+            read_once.observe(value)
+            if index % 17 == 0:
+                read_often.bucket_counts()
+                assert read_often.mean >= 0
+        assert read_often.snapshot_line() == read_once.snapshot_line()
+
+    def test_observe_itself_defers_all_accounting(self):
+        h = Histogram("lat")
+        h.observe(1e-3)
+        # Nothing materialized until a read asks for it.
+        assert h._summed == 0 and h._binned == 0
+        assert h.sum == 1e-3
+        assert h._summed == 1
+
+
+class TestSpanFreeWhenTracingOff:
+    def test_no_span_constructed_across_substrates(self, monkeypatch):
+        """With tracing off, a KV get crossing transport -> net -> kvssd
+        -> nvme -> pcie must construct zero Span objects: every
+        instrumented site has to hit the ``NULL_SPAN`` fast path."""
+        import repro.telemetry.tracing as tracing
+        from repro.hw.net import Network
+        from repro.hw.nvme import Namespace, NvmeController
+        from repro.hw.pcie.link import PcieLink
+        from repro.storage.kvssd import KvSsd, KvSsdClient, KvSsdService
+        from repro.transport import RpcClient, RpcServer, UdpSocket
+
+        def exploding_init(self, *args, **kwargs):
+            raise AssertionError("Span constructed while tracing disabled")
+
+        monkeypatch.setattr(tracing.Span, "__init__", exploding_init)
+
+        sim = Simulator()
+        network = Network(sim)
+        controller = NvmeController(
+            sim, "dpu0-nvme",
+            link=PcieLink(sim, lanes=4, component="dpu0.pcie"),
+        )
+        controller.add_namespace(Namespace(1, 16384))
+        device = KvSsd(sim, controller, memtable_limit=4)
+        server = RpcServer(sim, UdpSocket(sim, network.endpoint("dpu0")))
+        KvSsdService(server, device)
+        stub = KvSsdClient(
+            RpcClient(sim, UdpSocket(sim, network.endpoint("host"))), "dpu0"
+        )
+
+        def scenario():
+            for index in range(8):
+                yield from stub.put(f"key:{index:02d}".encode(), b"v" * 64)
+            value = yield from stub.get(b"key:03")
+            return value
+
+        assert sim.run_process(scenario()) == b"v" * 64
+        assert not sim.tracer.enabled
+
+
 class TestTracer:
     def test_disabled_returns_null_span(self):
         sim = Simulator()

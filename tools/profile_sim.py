@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Profile the simulator's hot paths: ``make profile``.
+
+Runs a scaled-down E16 (the scale-out data plane, the busiest workload
+in the suite — sharded KV ops through RPC, links, telemetry, and the
+event loop) under cProfile and prints the top cumulative hot spots, so
+perf work starts from data instead of guesses.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_sim.py            # top 20
+    PYTHONPATH=src python tools/profile_sim.py --top 40
+    PYTHONPATH=src python tools/profile_sim.py --sort tottime
+    PYTHONPATH=src python tools/profile_sim.py --dump prof.out
+
+``--dump`` writes the raw stats for ``snakeviz``/``pstats`` digging.
+The workload is two sweep points (1 and 2 DPUs) instead of the full
+E16 sweep: the same code paths, a fraction of the wall clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile a scaled-down E16 scale-out run")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of the profile to print (default: 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default: cumulative)")
+    parser.add_argument("--seed", type=int, default=16,
+                        help="workload seed (default: 16, the E16 default)")
+    parser.add_argument("--dump", metavar="PATH", default=None,
+                        help="also write raw cProfile stats to PATH")
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.eval.scaleout import run_scaleout
+    except ImportError:
+        print("run with PYTHONPATH=src (see 'make profile')",
+              file=sys.stderr)
+        return 2
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = run_scaleout(seed=args.seed, dpu_counts=(1, 2))
+    profiler.disable()
+
+    ops = sum(point.ops for point in report.points)
+    print(f"profiled: E16 scale-out, dpu_counts=(1, 2), "
+          f"seed={args.seed}, {ops} client ops\n")
+    stats = pstats.Stats(profiler)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"raw stats written to {args.dump}\n")
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
