@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-micro bench-tables bench-report eval chaos overload scaleout georep profile docs examples all
+.PHONY: install test lint bench bench-micro bench-tables bench-report eval chaos overload scaleout georep trace profile docs examples all
 
 install:
 	pip install -e .
@@ -71,6 +71,13 @@ scaleout:
 georep:
 	python -m repro.eval e17
 	pytest tests/test_georep.py -q
+
+# Trace analysis: causal trace trees over a cross-region quorum
+# workload (showcase tree, top-N slowest flows, critical path). Output
+# is byte-identical per seed, including across PYTHONHASHSEED — CI
+# diffs two hash seeds against each other.
+trace:
+	python -m repro.eval trace
 
 # Simulator hot-spot profile: cProfile over a scaled-down E16 (1 and 2
 # DPU sweep points), top-20 cumulative. Start perf PRs here.

@@ -32,6 +32,7 @@ from repro.eval.p2pdma import format_p2pdma, run_p2pdma
 from repro.eval.scaleout import format_scaleout, run_scaleout
 from repro.eval.table1 import run_table1
 from repro.eval.telemetry import format_telemetry, run_telemetry
+from repro.eval.trace import format_trace, run_trace
 from repro.eval.translation import format_translation, run_translation
 
 
@@ -93,6 +94,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[Optional[int]], str]]] = {
             _unseeded(run_p2pdma, format_p2pdma)),
     "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",
                   _unseeded(run_telemetry, format_telemetry)),
+    "trace": ("TRACE: causal trace analysis — cross-region quorum flows",
+              _seeded(run_trace, format_trace)),
 }
 
 

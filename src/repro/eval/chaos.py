@@ -28,7 +28,13 @@ from repro.eval.report import Table
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.hw.net import Network
 from repro.sim import Simulator
-from repro.telemetry import Sampler, SloMonitor, SloRule, percentile
+from repro.telemetry import (
+    Sampler,
+    SloMonitor,
+    SloRule,
+    percentile,
+    prometheus_text,
+)
 
 #: Sampling period for the E13 time series: fine enough to catch the
 #: retry spike around the kill, coarse enough to stay cheap.
@@ -41,6 +47,11 @@ SLO_RULES = (
     ("op-p99", "eval.chaos.op_latency p99 < 2ms for 0.5ms"),
     ("op-max", "eval.chaos.op_latency max < 20ms"),
 )
+
+#: Head-sampling rate for the storm run: one RPC flow in eight gets a
+#: full causal trace (and may land a latency exemplar), which is enough
+#: to fill the flight recorder without distorting the fast path.
+TRACE_SAMPLE_RATE = 0.125
 
 
 @dataclass
@@ -90,6 +101,16 @@ class ChaosReport:
     slo_summary: str = ""
     #: Canonical dump of every sampled series — same seed, same bytes.
     series: bytes = b""
+    #: OpenMetrics exposition of the storm registry, with latency
+    #: exemplars pointing into the sampled traces.
+    prometheus: bytes = b""
+    #: Sampled root traces the flight recorder held at the end.
+    traces_recorded: int = 0
+    #: The most recent flight-recorder post-mortem (empty if nothing
+    #: triggered one — no SLO fired and no fault window opened).
+    flight_dump: bytes = b""
+    #: Every post-mortem trigger, in firing order.
+    flight_triggers: tuple = ()
 
 
 def _key(index: int) -> bytes:
@@ -107,6 +128,14 @@ def _run_storm(
 ):
     """One full run: preload, storm, workload. Returns measurement state."""
     sim = Simulator()
+    # Distributed tracing rides along: deterministic head sampling keyed
+    # by the run seed, exemplars armed so the latency histogram points
+    # back into the sampled traces. Spans never touch the registry, RNG
+    # streams, or simulated time, so every canonical artifact (schedule,
+    # telemetry, series, alert log) is byte-identical with tracing off.
+    sim.tracer.enable(
+        sample_rate=TRACE_SAMPLE_RATE, seed=seed, exemplars=True
+    )
     network = Network(sim)
     cluster = ReplicatedDpuKvCluster(
         sim, network, dpu_count=dpu_count, replication=replication,
@@ -270,6 +299,10 @@ def run_chaos(
         slo_alert_log=monitor.alert_log_bytes(),
         slo_summary=monitor.summary(),
         series=sampler.snapshot_bytes(),
+        prometheus=prometheus_text(sim.telemetry).encode(),
+        traces_recorded=len(sim.recorder.traces),
+        flight_dump=sim.recorder.last_dump() or b"",
+        flight_triggers=sim.recorder.dump_triggers(),
     )
 
 
@@ -300,6 +333,8 @@ def format_chaos(report: ChaosReport) -> str:
     table.add_row("faults injected", report.faults_injected)
     table.add_row("sampler ticks", report.samples)
     table.add_row("SLO alerts fired", report.slo_alerts_fired)
+    table.add_row("sampled traces held", report.traces_recorded)
+    table.add_row("flight-recorder dumps", len(report.flight_triggers))
     rendered = table.render()
     if report.slo_summary:
         rendered += "\n\nSLO objectives:\n" + "\n".join(
@@ -313,4 +348,16 @@ def format_chaos(report: ChaosReport) -> str:
         )
         if len(lines) > len(shown):
             rendered += f"\n  ... (+{len(lines) - len(shown)} more entries)"
+    if report.flight_triggers:
+        rendered += "\n\nFlight recorder triggers:\n" + "\n".join(
+            f"  {trigger}" for trigger in report.flight_triggers
+        )
+    if report.flight_dump:
+        lines = report.flight_dump.decode().splitlines()
+        shown = lines[:12]
+        rendered += "\n\nLast post-mortem (excerpt):\n" + "\n".join(
+            f"  {line}" for line in shown
+        )
+        if len(lines) > len(shown):
+            rendered += f"\n  ... (+{len(lines) - len(shown)} more lines)"
     return rendered

@@ -1,0 +1,226 @@
+"""TRACE: causal trace analysis over a cross-region quorum workload.
+
+A three-region geo cluster at quorum consistency runs a short, fully
+traced key-value workload: every client operation is its own sampled
+flow (:meth:`~repro.telemetry.tracing.Tracer.flow`), so each put/get
+builds one intact causal tree even while the flows interleave on the
+simulated clock. The analysis then does what a tracing backend does:
+
+* **showcase tree** — the quorum geo put rendered end to end, from the
+  client's RPC through the region gateway, the WAN log shippers, and
+  the remote appliers (one trace id across >= 2 regions and >= 4
+  substrates);
+* **top-N slowest flows** — every flow ranked by root duration;
+* **critical path** — the latest-finishing chain of spans through the
+  showcase tree, i.e. the hops that actually bound the put's latency.
+
+Determinism: trace ids come from ``blake2b`` over ``(seed, flow #)``,
+spans carry simulated-clock times, and the report renders floats via
+fixed-precision formatting — same seed, byte-identical output, on any
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.eval.report import Table
+from repro.georep import Consistency, GeoCluster, GeoKvClient
+from repro.sim import Simulator
+from repro.telemetry.tracing import Span
+
+#: Region names; the client writes through its home region's gateway.
+REGIONS = ("east", "west", "south")
+HOME = "east"
+
+#: Stagger between operation launches (simulated seconds) — enough to
+#: give each flow a distinct start, small enough that they interleave.
+OP_STAGGER = 0.4e-3
+
+#: How many flows the slowest-flows table shows.
+TOP_N = 5
+
+#: Run horizon (simulated seconds) — the log shippers are long-lived
+#: loops, so the run is time-bounded like E17's, not drained.
+HORIZON = 0.08
+
+
+@dataclass(frozen=True)
+class FlowSummary:
+    """One traced client operation, reduced to backend-style rollups."""
+
+    name: str
+    trace_id: str
+    spans: int
+    substrates: Tuple[str, ...]
+    regions: Tuple[str, ...]
+    duration: float
+
+    def line(self) -> str:
+        return (
+            f"flow {self.name} trace={self.trace_id} spans={self.spans} "
+            f"substrates={','.join(self.substrates)} "
+            f"regions={','.join(self.regions)} "
+            f"dur={self.duration * 1e6:.3f}us"
+        )
+
+
+@dataclass
+class TraceReport:
+    """Everything the trace CLI prints, canonically rendered."""
+
+    seed: int
+    flows: List[FlowSummary]
+    showcase: str
+    showcase_tree: str
+    critical_path: List[str]
+
+    @property
+    def slowest(self) -> List[FlowSummary]:
+        """Flows by descending root duration (trace id tiebreak)."""
+        return sorted(
+            self.flows,
+            key=lambda flow: (-flow.duration, flow.trace_id),
+        )[:TOP_N]
+
+    def canonical_bytes(self) -> bytes:
+        lines = [f"trace seed={self.seed}"]
+        lines.extend(flow.line() for flow in self.flows)
+        lines.append(f"showcase {self.showcase}")
+        lines.append(self.showcase_tree)
+        lines.append("critical-path")
+        lines.extend(self.critical_path)
+        return "\n".join(lines).encode()
+
+
+def _regions_of(root: Span) -> Tuple[str, ...]:
+    """Distinct region attributes across the tree, in span order."""
+    seen: List[str] = []
+    for span in root.walk():
+        region = span.attrs.get("region")
+        if isinstance(region, str) and region not in seen:
+            seen.append(region)
+    return tuple(seen)
+
+
+def _critical_path(root: Span) -> List[str]:
+    """The latest-finishing chain: at every node, descend into the
+    child whose end time bounds the parent's completion."""
+    lines: List[str] = []
+    span = root
+    while True:
+        end = span.end if span.end is not None else span.start
+        lines.append(
+            f"  {span.name} [{span.substrate}] "
+            f"t={span.start * 1e6:.3f}us "
+            f"end={end * 1e6:.3f}us "
+            f"dur={span.duration * 1e6:.3f}us"
+        )
+        if not span.children:
+            return lines
+        span = max(
+            span.children,
+            key=lambda child: (
+                child.end if child.end is not None else child.start,
+                child.span_id,
+            ),
+        )
+
+
+def run_trace(seed: int = 8) -> TraceReport:
+    """Run the traced cross-region workload and analyse its flows."""
+    sim = Simulator()
+    tracer = sim.tracer.enable(exemplars=True)
+    cluster = GeoCluster(
+        sim, REGIONS, consistency=Consistency.QUORUM,
+    )
+    client = GeoKvClient(sim, cluster, "trace-cli", home=HOME)
+
+    # name -> trace id, insertion-ordered; filled as flows launch.
+    flow_ids: Dict[str, str] = {}
+
+    def launch(name: str, delay: float, op):
+        """One client op as its own flow, under a named root span."""
+        context = tracer.flow()
+        assert context is not None  # full sampling at rate 1.0
+        flow_ids[name] = context.trace_id
+
+        def body():
+            if delay:
+                yield sim.timeout(delay)
+            with tracer.begin(context, f"client.{name.split('/')[0]}",
+                              "client", {"op": name}):
+                yield from op()
+        sim.process(tracer.drive(body(), context))
+
+    # The workload: a quorum put (the showcase), a racing second put,
+    # two interleaved gets, and a delete — five flows sharing the wire.
+    launch("put/alpha", 0 * OP_STAGGER,
+           lambda: client.put(b"alpha", b"one"))
+    launch("put/beta", 1 * OP_STAGGER,
+           lambda: client.put(b"beta", b"two"))
+    launch("get/alpha", 2 * OP_STAGGER, lambda: client.get(b"alpha"))
+    launch("get/beta", 3 * OP_STAGGER, lambda: client.get(b"beta"))
+    launch("delete/beta", 4 * OP_STAGGER, lambda: client.delete(b"beta"))
+    sim.run(until=HORIZON)
+
+    # A tracing backend indexes by trace id; ambient spans from
+    # untraced background activity are not part of any client flow, and
+    # late frame hops can re-root on a flow after its client op closed —
+    # the first root per trace id is the operation itself.
+    roots: Dict[str, Span] = {}
+    for root in tracer.roots:
+        if root.trace_id in flow_ids.values():
+            roots.setdefault(root.trace_id, root)
+    flows = []
+    for name, trace_id in flow_ids.items():
+        root = roots[trace_id]
+        spans = list(root.walk())
+        substrates = []
+        for span in spans:
+            if span.substrate and span.substrate not in substrates:
+                substrates.append(span.substrate)
+        flows.append(FlowSummary(
+            name=name,
+            trace_id=trace_id,
+            spans=len(spans),
+            substrates=tuple(substrates),
+            regions=_regions_of(root),
+            duration=root.duration,
+        ))
+
+    showcase_root = roots[flow_ids["put/alpha"]]
+    return TraceReport(
+        seed=seed,
+        flows=flows,
+        showcase=flow_ids["put/alpha"],
+        showcase_tree=showcase_root.render(),
+        critical_path=_critical_path(showcase_root),
+    )
+
+
+def format_trace(report: TraceReport) -> str:
+    table = Table(
+        f"Slowest flows (top {len(report.slowest)} of {len(report.flows)})",
+        ["flow", "trace id", "spans", "substrates", "regions", "duration"],
+    )
+    for flow in report.slowest:
+        table.add_row(
+            flow.name,
+            flow.trace_id,
+            flow.spans,
+            ",".join(flow.substrates),
+            ",".join(flow.regions),
+            f"{flow.duration * 1e6:.3f}us",
+        )
+    sections = [
+        f"seed={report.seed}  flows={len(report.flows)}",
+        table.render(),
+        f"Cross-region quorum put — one causal tree "
+        f"(trace {report.showcase}):",
+        report.showcase_tree,
+        "Critical path (latest-finishing chain):",
+        "\n".join(report.critical_path),
+    ]
+    return "\n\n".join(sections)

@@ -38,6 +38,7 @@ class FaultInjector:
 
     def __init__(self, clock, plan: FaultPlan):
         self.clock = clock
+        self._recorder = getattr(clock, "recorder", None)
         self.plan = plan
         self.log: List[FaultRecord] = []
         self.injected: Dict[FaultKind, int] = {}
@@ -51,9 +52,12 @@ class FaultInjector:
     def _record(self, spec: FaultSpec) -> None:
         self._fires[spec.name] += 1
         self.injected[spec.kind] = self.injected.get(spec.kind, 0) + 1
-        self.log.append(
-            FaultRecord(self.clock.now, spec.name, spec.component, spec.kind)
+        record = FaultRecord(
+            self.clock.now, spec.name, spec.component, spec.kind
         )
+        self.log.append(record)
+        if self._recorder is not None:
+            self._recorder.record("fault", record.line())
 
     def _exhausted(self, spec: FaultSpec) -> bool:
         if spec.at is not None:
@@ -100,6 +104,10 @@ class FaultInjector:
             if spec.is_windowed and spec.window[0] <= now < spec.window[1]:
                 if self._fires[spec.name] == 0:
                     self._record(spec)
+                    if self._recorder is not None:
+                        # A fault window just opened: capture the state of
+                        # the system as it enters the incident.
+                        self._recorder.dump(f"fault-window:{spec.name}")
                 holding = True
         return holding
 

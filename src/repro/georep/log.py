@@ -19,8 +19,8 @@ for before the client sees success — the knob E17's mode sweep turns:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
 
 from repro.telemetry import MetricScope
 
@@ -45,6 +45,11 @@ class LogEntry:
     value: Optional[bytes]
     stamp: float
     origin: str
+    #: The sampled :class:`~repro.telemetry.TraceContext` of the write
+    #: that appended this entry (``None`` when unsampled). Excluded from
+    #: equality, :meth:`line`, and ``wire_size`` — causality metadata,
+    #: not replicated state.
+    trace: Any = field(default=None, compare=False, repr=False)
 
     @property
     def wire_size(self) -> int:
@@ -78,8 +83,8 @@ class ReplicationLog:
         return len(self.entries)
 
     def append(self, op: str, key: bytes, value: Optional[bytes],
-               stamp: float, origin: str) -> LogEntry:
-        entry = LogEntry(self.head, op, key, value, stamp, origin)
+               stamp: float, origin: str, trace: Any = None) -> LogEntry:
+        entry = LogEntry(self.head, op, key, value, stamp, origin, trace)
         self.entries.append(entry)
         self._appended.inc()
         self._head_gauge.set(self.head)

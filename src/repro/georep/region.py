@@ -40,6 +40,7 @@ from repro.hw.net import Network
 from repro.overload import CircuitBreaker
 from repro.sharding import ShardedKvClient, ShardedKvCluster
 from repro.sim import Event, Simulator
+from repro.telemetry.tracing import NULL_SPAN
 from repro.transport import RpcClient, RpcError, RpcServer, UdpSocket
 
 __all__ = ["GeoCluster", "LogShipper", "Region", "WanSpec"]
@@ -158,14 +159,23 @@ class LogShipper:
             else:
                 through = entries[-1].stamp
             size = 48 + sum(entry.wire_size for entry in entries)
+            # The shipper loop is nobody's flow, but the entries it
+            # carries are: run the ship on the first traced entry's
+            # context so the WAN hop and the peer's apply join the
+            # originating write's trace.
+            tracer = self.sim.tracer
+            context = None
+            if tracer.enabled:
+                for entry in entries:
+                    if entry.trace is not None:
+                        context = entry.trace
+                        break
             try:
-                acked = yield from self.rpc.call(
-                    self.peer_address, "repl.ship",
-                    self.region.name, tuple(entries), through,
-                    request_size=size, response_size=24,
-                    timeout=self.timeout, retries=self.retries,
-                    deadline=self.deadline,
-                )
+                ship = self._ship_once(entries, through, size)
+                if context is not None:
+                    acked = yield from tracer.drive(ship, context)
+                else:
+                    acked = yield from ship
             except RpcError:
                 self.breaker.record_failure()
                 self._failures.inc()
@@ -182,6 +192,23 @@ class LogShipper:
             self.shipped = max(self.shipped, int(acked))
             self.region._on_peer_ack(self.peer, self.shipped)
             self._update_lag()
+
+    def _ship_once(self, entries, through: float, size: int):
+        """Process: one ``repl.ship`` round trip to the peer gateway."""
+        tracer = self.sim.tracer
+        span = tracer.span(
+            "repl.ship", "georep",
+            region=self.region.name, peer=self.peer, entries=len(entries),
+        ) if tracer.enabled else NULL_SPAN
+        with span:
+            acked = yield from self.rpc.call(
+                self.peer_address, "repl.ship",
+                self.region.name, tuple(entries), through,
+                request_size=size, response_size=24,
+                timeout=self.timeout, retries=self.retries,
+                deadline=self.deadline,
+            )
+        return acked
 
 
 class Region:
@@ -339,24 +366,42 @@ class Region:
     # -- the gateway surface --------------------------------------------------
     def _geo_put(self, key: bytes, value: bytes):
         key, value = bytes(key), bytes(value)
-        stamp = self._next_stamp()
-        entry = self.log.append("put", key, value, stamp, self.name)
-        self.version[key] = (stamp, self.name)
-        self._wake_shippers()
-        yield from self.store.put(key, value)
-        yield from self._await_acks(entry.seq)
-        self._puts.inc()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            context = tracer.active_context
+            span = tracer.span("geo.put", "georep", region=self.name)
+        else:
+            context = None
+            span = NULL_SPAN
+        with span:
+            stamp = self._next_stamp()
+            entry = self.log.append("put", key, value, stamp, self.name,
+                                    trace=context)
+            self.version[key] = (stamp, self.name)
+            self._wake_shippers()
+            yield from self.store.put(key, value)
+            yield from self._await_acks(entry.seq)
+            self._puts.inc()
         return stamp
 
     def _geo_delete(self, key: bytes):
         key = bytes(key)
-        stamp = self._next_stamp()
-        entry = self.log.append("delete", key, None, stamp, self.name)
-        self.version[key] = (stamp, self.name)
-        self._wake_shippers()
-        yield from self.store.delete(key)
-        yield from self._await_acks(entry.seq)
-        self._deletes.inc()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            context = tracer.active_context
+            span = tracer.span("geo.delete", "georep", region=self.name)
+        else:
+            context = None
+            span = NULL_SPAN
+        with span:
+            stamp = self._next_stamp()
+            entry = self.log.append("delete", key, None, stamp, self.name,
+                                    trace=context)
+            self.version[key] = (stamp, self.name)
+            self._wake_shippers()
+            yield from self.store.delete(key)
+            yield from self._await_acks(entry.seq)
+            self._deletes.inc()
         return stamp
 
     def _geo_get(self, key: bytes, origin: Optional[str] = None):
@@ -367,10 +412,15 @@ class Region:
         behind this region might be on them — the number a
         staleness-bounded client checks before trusting the value.
         """
-        value = yield from self.store.get(bytes(key))
-        staleness = self.staleness_of(origin)
-        self._staleness_gauge.set(staleness)
-        self._gets.inc()
+        tracer = self.sim.tracer
+        span = tracer.span(
+            "geo.get", "georep", region=self.name,
+        ) if tracer.enabled else NULL_SPAN
+        with span:
+            value = yield from self.store.get(bytes(key))
+            staleness = self.staleness_of(origin)
+            self._staleness_gauge.set(staleness)
+            self._gets.inc()
         return value, staleness
 
     def _repl_ship(self, origin: str, entries: Tuple[LogEntry, ...],
@@ -384,24 +434,31 @@ class Region:
         """
         if origin not in self.applied_from:
             raise ConfigurationError(f"unknown peer {origin!r}")
+        tracer = self.sim.tracer
+        span = tracer.span(
+            "repl.apply", "georep",
+            region=self.name, origin=origin, entries=len(entries),
+        ) if tracer.enabled else NULL_SPAN
         cursor = self.applied_from[origin]
-        for entry in entries:
-            if entry.seq < cursor:
-                continue  # duplicate delivery after a retransmit
-            current = self.version.get(entry.key)
-            if current is None or (entry.stamp, entry.origin) > current:
-                self.version[entry.key] = (entry.stamp, entry.origin)
-                if entry.op == "put":
-                    yield from self.store.put(entry.key, entry.value)
+        with span:
+            for entry in entries:
+                if entry.seq < cursor:
+                    continue  # duplicate delivery after a retransmit
+                current = self.version.get(entry.key)
+                if current is None or (entry.stamp, entry.origin) > current:
+                    self.version[entry.key] = (entry.stamp, entry.origin)
+                    if entry.op == "put":
+                        yield from self.store.put(entry.key, entry.value)
+                    else:
+                        yield from self.store.delete(entry.key)
+                    self._entries_applied.inc()
                 else:
-                    yield from self.store.delete(entry.key)
-                self._entries_applied.inc()
-            else:
-                self._entries_stale.inc()
-            cursor = entry.seq + 1
-        self.applied_from[origin] = cursor
-        self.fresh_through[origin] = max(self.fresh_through[origin], through)
-        self._ships_received.inc()
+                    self._entries_stale.inc()
+                cursor = entry.seq + 1
+            self.applied_from[origin] = cursor
+            self.fresh_through[origin] = max(self.fresh_through[origin],
+                                             through)
+            self._ships_received.inc()
         return cursor
 
 

@@ -67,6 +67,9 @@ class WanLink(Link):
     counter make the split visible in telemetry snapshots.
     """
 
+    TX_SPAN = "wan.tx"
+    TX_SUBSTRATE = "wan"
+
     def __init__(
         self,
         sim: Simulator,
@@ -129,6 +132,7 @@ class WanFabric:
     def __init__(self, sim: Simulator,
                  injector: Optional[FaultInjector] = None):
         self.sim = sim
+        self._recorder = getattr(sim, "recorder", None)
         self.injector = injector
         self.regions: Dict[str, Network] = {}
         self.links: Dict[Tuple[str, str], WanLink] = {}
@@ -222,6 +226,10 @@ class WanFabric:
         self.link(src, dst).partition()
         self.events.append((self.sim.now, "partition", src, dst))
         self._partitions.inc()
+        if self._recorder is not None:
+            self._recorder.record(
+                "wan", f"wan partition {src}->{dst} at={self.sim.now!r}"
+            )
         if symmetric:
             self.partition(dst, src)
 
@@ -229,6 +237,10 @@ class WanFabric:
         self.link(src, dst).heal()
         self.events.append((self.sim.now, "heal", src, dst))
         self._heals.inc()
+        if self._recorder is not None:
+            self._recorder.record(
+                "wan", f"wan heal {src}->{dst} at={self.sim.now!r}"
+            )
         if symmetric:
             self.heal(dst, src)
 

@@ -59,6 +59,11 @@ class Link:
     link's component path (the same id the fault injector consults).
     """
 
+    #: Span name/substrate for transmits; WAN links override these so a
+    #: cross-region trace shows where the flow left the datacenter.
+    TX_SPAN = "net.tx"
+    TX_SUBSTRATE = "net"
+
     def __init__(
         self,
         sim: Simulator,
@@ -143,9 +148,18 @@ class Link:
         # net.tx is the highest-frequency span site in the system; the
         # attrs dict is only built when tracing is actually on.
         tracer = self._tracer
-        span = tracer.span(
-            "net.tx", "net", component=self.component, bytes=frame.wire_size
-        ) if tracer.enabled else _NULL_SPAN
+        if tracer.enabled:
+            if frame.trace is None:
+                # First hop runs inside the sender's generator: stamp the
+                # active flow onto the frame so downstream switch hops
+                # (separate processes) can rejoin it.
+                frame.trace = tracer.active_context
+            span = tracer.span(
+                self.TX_SPAN, self.TX_SUBSTRATE,
+                component=self.component, bytes=frame.wire_size,
+            )
+        else:
+            span = _NULL_SPAN
         with span:
             yield self._tx.request()
             try:

@@ -18,6 +18,7 @@ class Switch:
 
     def __init__(self, sim: Simulator, forward_latency: float = SWITCH_FORWARD_LATENCY):
         self.sim = sim
+        self._tracer = sim.tracer
         self.forward_latency = forward_latency
         self._egress: Dict[str, Link] = {}
         self._blackholed: Set[str] = set()
@@ -76,7 +77,14 @@ class Switch:
                 # Unknown destination: drop, as a real switch floods/drops.
                 continue
             self._frames_forwarded.inc()
-            self.sim.process(egress.transmit(frame))
+            if frame.trace is not None:
+                # The egress transmit is its own process; re-enter the
+                # sending flow so the hop's span lands in its trace.
+                self.sim.process(
+                    self._tracer.drive(egress.transmit(frame), frame.trace)
+                )
+            else:
+                self.sim.process(egress.transmit(frame))
 
 
 class Network:

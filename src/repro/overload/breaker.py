@@ -72,6 +72,7 @@ class CircuitBreaker:
         if reset_timeout <= 0:
             raise ConfigurationError("reset_timeout must be positive")
         self.clock = clock
+        self._recorder = getattr(clock, "recorder", None)
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.half_open_probes = half_open_probes
@@ -99,6 +100,11 @@ class CircuitBreaker:
         self.transition_log.append(
             (self.clock.now, self.state.value, to.value)
         )
+        if self._recorder is not None:
+            self._recorder.record(
+                "breaker",
+                f"breaker {self.state.value}->{to.value} at={self.clock.now!r}",
+            )
         # Per-edge counters (e.g. ``transitions.closed_to_open``) so a
         # Prometheus scrape sees *which* transitions happened, not just
         # how often each state was entered.

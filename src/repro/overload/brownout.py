@@ -73,6 +73,7 @@ class BrownoutController:
         if dwell <= 0 or recovery <= 0:
             raise ConfigurationError("dwell/recovery must be positive")
         self.monitor = monitor
+        self._recorder = getattr(monitor.sampler.clock, "recorder", None)
         self.modes: Tuple[BrownoutMode, ...] = tuple(modes)
         self.dwell = dwell
         self.recovery = recovery
@@ -133,6 +134,12 @@ class BrownoutController:
         self._level = to_level
         self.transitions.append((now, frm, self.modes[to_level].name,
                                  direction))
+        if self._recorder is not None:
+            self._recorder.record(
+                "brownout",
+                f"brownout {direction} {frm}->{self.modes[to_level].name} "
+                f"at={now!r}",
+            )
         self._mode_gauge.set(to_level)
         self._last_transition = now
         if direction == "escalate":

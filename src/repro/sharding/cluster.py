@@ -28,6 +28,7 @@ from repro.overload.admission import Priority
 from repro.sharding.ring import DEFAULT_VNODES, HashRing
 from repro.sim import Event, Simulator
 from repro.storage.kvssd import KvSsd
+from repro.telemetry.tracing import NULL_SPAN
 from repro.transport import RpcClient, RpcServer, UdpSocket
 
 __all__ = ["ShardedKvCluster", "ShardForwarder"]
@@ -225,10 +226,12 @@ class ShardForwarder:
         forwarding entry.
         """
         moved = 0
-        with self.sim.tracer.span(
+        tracer = self.sim.tracer
+        span = tracer.span(
             "shard.handoff", "shard",
             source=self.address, dest=dest, keys=len(keys),
-        ):
+        ) if tracer.enabled else NULL_SPAN
+        with span:
             for key in keys:
                 key = bytes(key)
                 yield from self._locks.acquire(key)

@@ -27,6 +27,7 @@ from typing import Dict, List
 from repro.common.errors import ConfigurationError
 from repro.sharding.cluster import ShardedKvCluster
 from repro.sim import Simulator
+from repro.telemetry.tracing import NULL_SPAN
 from repro.transport import RpcClient, UdpSocket
 
 __all__ = ["ShardMigrator", "MigrationReport"]
@@ -104,7 +105,23 @@ class ShardMigrator:
         self._migrations = self._metrics.counter("migrations")
         self._keys_moved = self._metrics.counter("keys_moved")
         self._segments = self._metrics.counter("segments")
+        self._recorder = getattr(sim, "recorder", None)
         self.reports: List[MigrationReport] = []
+
+    def _traced(self, process):
+        """Run a topology change as its own trace flow when sampled.
+
+        A migration is a root flow (nothing upstream causes it), so the
+        ``shard.migrate`` span and every handoff RPC under it share one
+        trace — unless the migration itself was triggered from inside an
+        already-traced flow, which it then joins.
+        """
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.active_context is None:
+            context = tracer.flow()
+            if context is not None:
+                return tracer.drive(process, context)
+        return process
 
     # -- internals -----------------------------------------------------------
     def _list_keys(self, address: str):
@@ -136,15 +153,20 @@ class ShardMigrator:
         Returns the :class:`MigrationReport`; the new DPU serves its
         share of the keyspace from the commit's epoch onward.
         """
+        return self._traced(self._add_dpu())
+
+    def _add_dpu(self):
         cluster = self.cluster
         address = cluster.spawn_dpu()
         future = cluster.ring.with_node(address)
         started = self.sim.now
         per_source: Dict[str, int] = {}
         segments = 0
-        with self.sim.tracer.span(
+        tracer = self.sim.tracer
+        span = tracer.span(
             "shard.migrate", "shard", node=address, direction="join",
-        ):
+        ) if tracer.enabled else NULL_SPAN
+        with span:
             for source in cluster.ring.nodes:
                 keys = yield from self._list_keys(source)
                 moving = [k for k in keys if future.owner_of(k) == address]
@@ -166,18 +188,23 @@ class ShardMigrator:
         The drained DPU keeps running as a pure forwarding stub, so
         clients still routing on the old epoch lose nothing.
         """
-        cluster = self.cluster
-        if address not in cluster.ring:
+        if address not in self.cluster.ring:
             raise ConfigurationError(f"{address} is not a ring member")
-        if len(cluster.ring) < 2:
+        if len(self.cluster.ring) < 2:
             raise ConfigurationError("cannot drain the last DPU")
+        return self._traced(self._remove_dpu(address))
+
+    def _remove_dpu(self, address: str):
+        cluster = self.cluster
         future = cluster.ring.without_node(address)
         started = self.sim.now
         per_source: Dict[str, int] = {}
         segments = 0
-        with self.sim.tracer.span(
+        tracer = self.sim.tracer
+        span = tracer.span(
             "shard.migrate", "shard", node=address, direction="leave",
-        ):
+        ) if tracer.enabled else NULL_SPAN
+        with span:
             keys = yield from self._list_keys(address)
             # Group by future owner, preserving the sorted key order.
             by_dest: Dict[str, List[bytes]] = {}
@@ -204,4 +231,6 @@ class ShardMigrator:
         self._migrations.inc()
         self._keys_moved.inc(report.keys_moved)
         self.reports.append(report)
+        if self._recorder is not None:
+            self._recorder.record("migration", report.line())
         return report

@@ -39,6 +39,7 @@ from functools import partial
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.telemetry.flightrec import FlightRecorder
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracing import Tracer
 
@@ -351,6 +352,7 @@ class Simulator:
         self._eid = 0
         self._telemetry: Optional[MetricsRegistry] = None
         self._tracer: Optional[Tracer] = None
+        self._recorder: Optional[FlightRecorder] = None
         # C-level factories: shadow the identically-named methods below
         # with ``partial`` objects, skipping one Python call frame per
         # spawned event/timeout/process (the methods stay as the
@@ -378,6 +380,19 @@ class Simulator:
         if self._tracer is None:
             self._tracer = Tracer(self)
         return self._tracer
+
+    @property
+    def recorder(self) -> FlightRecorder:
+        """The always-on flight recorder (journal + sampled-trace ring).
+
+        Lazily created like the registry and tracer; control-plane
+        components (breakers, the SLO monitor, the fault injector...)
+        resolve it once at construction via
+        ``getattr(clock, "recorder", None)``.
+        """
+        if self._recorder is None:
+            self._recorder = FlightRecorder(self)
+        return self._recorder
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> float:

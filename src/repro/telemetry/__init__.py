@@ -32,10 +32,13 @@ On top of the in-process plane sit the export-and-watch layers:
 
 from repro.telemetry.export import (
     chrome_trace_json,
+    distributed_chrome_trace_json,
+    distributed_trace_events,
     parse_prometheus_text,
     prometheus_text,
     trace_events,
 )
+from repro.telemetry.flightrec import FlightRecorder
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -47,7 +50,7 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.slo import SloAlert, SloMonitor, SloRule
 from repro.telemetry.timeseries import Sampler, Series
-from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
+from repro.telemetry.tracing import NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
     "Metric",
@@ -58,12 +61,16 @@ __all__ = [
     "MetricsRegistry",
     "percentile",
     "Span",
+    "TraceContext",
     "Tracer",
     "NULL_SPAN",
+    "FlightRecorder",
     "prometheus_text",
     "parse_prometheus_text",
     "chrome_trace_json",
     "trace_events",
+    "distributed_trace_events",
+    "distributed_chrome_trace_json",
     "Sampler",
     "Series",
     "SloRule",

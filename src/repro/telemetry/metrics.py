@@ -190,11 +190,32 @@ class Histogram(Metric):
         # in _counts, samples[:_summed] in _sum.
         self._binned = 0
         self._summed = 0
+        #: bucket index -> (value, trace_id): the last traced request
+        #: whose sample landed in that bucket (see :meth:`exemplar`).
+        self._exemplars: Dict[int, Tuple[float, str]] = {}
 
     # -- recording -----------------------------------------------------------
     def observe(self, value: float) -> None:
         """Record one sample; binning and summing are deferred to reads."""
         self._samples.append(value)
+
+    def exemplar(self, value: float, trace_id: str) -> None:
+        """Attach *trace_id* as the exemplar for *value*'s bucket.
+
+        Called by instrumented sites alongside :meth:`observe` when the
+        observation belongs to a sampled trace (and the tracer has
+        exemplar capture armed), linking a latency bucket back to one
+        concrete request that landed in it. Kept out of ``observe``
+        itself and out of :meth:`snapshot_line` so the hot path and the
+        canonical snapshot bytes are untouched; exemplars surface only
+        through :func:`repro.telemetry.prometheus_text` (OpenMetrics
+        exemplar syntax) and :meth:`exemplars`.
+        """
+        self._exemplars[bisect_left(self.bounds, value)] = (value, trace_id)
+
+    def exemplars(self) -> Dict[int, Tuple[float, str]]:
+        """Captured exemplars: bucket index -> (value, trace_id)."""
+        return dict(self._exemplars)
 
     # -- lazy materialization ------------------------------------------------
     def _materialized_sum(self) -> float:

@@ -151,6 +151,7 @@ class SloMonitor:
     def __init__(self, sampler: Sampler,
                  rules: Sequence[SloRule] = ()) -> None:
         self.sampler = sampler
+        self._recorder = getattr(sampler.clock, "recorder", None)
         self.rules: List[SloRule] = []
         self.alerts: List[SloAlert] = []
         self._violating_since: Dict[str, Optional[float]] = {}
@@ -188,9 +189,10 @@ class SloMonitor:
                 continue
             if rule.holds(value):
                 if self._firing[rule.name]:
-                    self.alerts.append(
-                        SloAlert(rule.name, "resolved", now, value)
-                    )
+                    alert = SloAlert(rule.name, "resolved", now, value)
+                    self.alerts.append(alert)
+                    if self._recorder is not None:
+                        self._recorder.record("slo", alert.line())
                 self._firing[rule.name] = False
                 self._violating_since[rule.name] = None
                 continue
@@ -201,7 +203,13 @@ class SloMonitor:
             if not self._firing[rule.name] \
                     and now - since >= rule.for_duration:
                 self._firing[rule.name] = True
-                self.alerts.append(SloAlert(rule.name, "firing", now, value))
+                alert = SloAlert(rule.name, "firing", now, value)
+                self.alerts.append(alert)
+                if self._recorder is not None:
+                    # An objective just started failing: journal it and
+                    # snapshot a post-mortem before the rings roll on.
+                    self._recorder.record("slo", alert.line())
+                    self._recorder.dump(f"slo-firing:{rule.name}")
 
     # -- reading -------------------------------------------------------------
     @property

@@ -136,9 +136,16 @@ class RpcRequest:
     A ``__slots__`` value object (one per call, two tuple-sized fields
     smaller than a ``__dict__``-backed dataclass) — the wire objects sit
     on the per-op fast path, so their footprint is part of the RPC cost.
+
+    ``trace``/``parent_span`` carry the caller's sampled
+    :class:`~repro.telemetry.TraceContext` (and the ``rpc.call`` span to
+    parent the server's ``rpc.handle`` under) across the wire — the
+    in-simulation stand-in for W3C traceparent propagation. Both stay
+    ``None`` on every unsampled call.
     """
 
-    __slots__ = ("rpc_id", "method", "args", "response_size", "priority")
+    __slots__ = ("rpc_id", "method", "args", "response_size", "priority",
+                 "trace", "parent_span")
 
     def __init__(self, rpc_id: int, method: str, args: tuple,
                  response_size: int, priority: int = 0):
@@ -149,6 +156,8 @@ class RpcRequest:
         #: Load-shedding class (:class:`repro.overload.Priority` value):
         #: 0 = user, higher = shed earlier under overload.
         self.priority = priority
+        self.trace = None
+        self.parent_span = None
 
     def __repr__(self) -> str:
         return (f"RpcRequest(rpc_id={self.rpc_id}, method={self.method!r}, "
@@ -346,14 +355,28 @@ class RpcServer:
                 # buffering, the client learns immediately.
                 self.queue.try_put((src, request))
                 continue
-            self.sim.process(self._handle(src, request))
+            if request.trace is not None:
+                # Resume the caller's flow on this side of the wire: the
+                # handler process runs with the originating context
+                # active, so its spans join the caller's trace tree.
+                self.sim.process(
+                    self._tracer.drive(self._handle(src, request),
+                                       request.trace)
+                )
+            else:
+                self.sim.process(self._handle(src, request))
 
     def _worker_loop(self):
         """One wimpy core: run-to-completion service off the queue."""
         assert self.queue is not None
         while True:
             src, request = yield self.queue.get()
-            yield from self._handle(src, request)
+            if request.trace is not None:
+                yield from self._tracer.drive(
+                    self._handle(src, request), request.trace
+                )
+            else:
+                yield from self._handle(src, request)
 
     def _handle(self, src: str, request: RpcRequest):
         if request.method == BATCH_METHOD:
@@ -369,15 +392,35 @@ class RpcServer:
         # Attribute dicts for spans are only built when tracing is on;
         # the disabled path allocates nothing (NULL_SPAN is a singleton).
         tracer = self._tracer
-        span = tracer.span(
-            "rpc.handle", "transport",
-            method=request.method, server=self.transport.address,
-        ) if tracer.enabled else NULL_SPAN
+        context = request.trace
+        if context is not None:
+            # Parent explicitly under the caller's rpc.call span rather
+            # than whatever happens to be innermost — concurrent flows
+            # through one server must not cross-link.
+            span = tracer.begin(
+                context, "rpc.handle", "transport",
+                {"method": request.method, "server": self.transport.address},
+                parent=request.parent_span,
+            )
+        elif tracer.enabled:
+            span = tracer.span(
+                "rpc.handle", "transport",
+                method=request.method, server=self.transport.address,
+            )
+        else:
+            span = NULL_SPAN
         with span:
             try:
                 outcome = handler(*request.args)
                 if hasattr(outcome, "send"):  # a generator: run it in sim time
-                    outcome = yield self.sim.process(outcome)
+                    if context is not None:
+                        # The handler runs as its own process; keep it on
+                        # the caller's flow across its resumptions too.
+                        outcome = yield self.sim.process(
+                            tracer.drive(outcome, context)
+                        )
+                    else:
+                        outcome = yield self.sim.process(outcome)
                 response = RpcResponse(request.rpc_id, ok=True, result=outcome)
             except Exception as exc:  # noqa: BLE001 - marshalled to the client
                 response = RpcResponse(request.rpc_id, ok=False, error=str(exc))
@@ -397,10 +440,22 @@ class RpcServer:
         """
         (ops,) = request.args
         tracer = self._tracer
-        span = tracer.span(
-            "rpc.handle", "transport",
-            method=BATCH_METHOD, server=self.transport.address, ops=len(ops),
-        ) if tracer.enabled else NULL_SPAN
+        context = request.trace
+        if context is not None:
+            span = tracer.begin(
+                context, "rpc.handle", "transport",
+                {"method": BATCH_METHOD, "server": self.transport.address,
+                 "ops": len(ops)},
+                parent=request.parent_span,
+            )
+        elif tracer.enabled:
+            span = tracer.span(
+                "rpc.handle", "transport",
+                method=BATCH_METHOD, server=self.transport.address,
+                ops=len(ops),
+            )
+        else:
+            span = NULL_SPAN
         with span:
             results = []
             for position, (method, args) in enumerate(ops):
@@ -413,7 +468,12 @@ class RpcServer:
                 try:
                     outcome = handler(*args)
                     if hasattr(outcome, "send"):
-                        outcome = yield self.sim.process(outcome)
+                        if context is not None:
+                            outcome = yield self.sim.process(
+                                tracer.drive(outcome, context)
+                            )
+                        else:
+                            outcome = yield self.sim.process(outcome)
                     results.append(RpcResponse(position, ok=True,
                                                result=outcome))
                 except Exception as exc:  # noqa: BLE001 - marshalled per op
@@ -510,9 +570,16 @@ class RpcClient:
         """
         request = RpcRequest(next(self._rpc_ids), method, args, response_size,
                              priority=priority)
-        response = yield from self._issue(
-            server, request, request_size, timeout, retries, deadline, policy,
-        )
+        if self._tracer.enabled:
+            response = yield from self._issue_traced(
+                server, request, request_size, timeout, retries, deadline,
+                policy,
+            )
+        else:
+            response = yield from self._issue(
+                server, request, request_size, timeout, retries, deadline,
+                policy,
+            )
         if not response.ok:
             raise RpcError(response.error)
         return response.result
@@ -560,12 +627,61 @@ class RpcClient:
             priority=priority,
         )
         self._batched_ops.inc(len(ops))
-        response = yield from self._issue(
-            server, request, request_size, timeout, retries, deadline, policy,
-        )
+        if self._tracer.enabled:
+            response = yield from self._issue_traced(
+                server, request, request_size, timeout, retries, deadline,
+                policy,
+            )
+        else:
+            response = yield from self._issue(
+                server, request, request_size, timeout, retries, deadline,
+                policy,
+            )
         if not response.ok:
             raise RpcError(response.error)
         return response.result
+
+    def _issue_traced(
+        self,
+        server: str,
+        request: RpcRequest,
+        request_size: int,
+        timeout: Optional[float],
+        retries: int,
+        deadline: Optional[float],
+        policy: Optional[RetryPolicy],
+    ):
+        """Process: attach a flow to the request, then run :meth:`_issue`.
+
+        An already-active flow (the enclosing generator is being driven)
+        is simply carried onto the wire. With head sampling on and no
+        active flow, this call *is* a new root flow: draw the sampling
+        decision and, when sampled, keep the fresh context active across
+        every resumption of the send/retry loop. Unsampled calls carry
+        ``trace=None`` and trace nothing anywhere downstream.
+        """
+        tracer = self._tracer
+        context = tracer.active_context
+        if context is not None:
+            request.trace = context
+            return (yield from self._issue(
+                server, request, request_size, timeout, retries, deadline,
+                policy,
+            ))
+        if tracer.sample_rate < 1.0:
+            context = tracer.flow()
+            if context is not None:
+                request.trace = context
+                return (yield from tracer.drive(
+                    self._issue(server, request, request_size, timeout,
+                                retries, deadline, policy),
+                    context,
+                ))
+        # Legacy full-rate path outside any flow: _issue's span() call
+        # lands on the shared ambient context, as it always has.
+        return (yield from self._issue(
+            server, request, request_size, timeout, retries, deadline, policy,
+        ))
 
     def _issue(
         self,
@@ -586,9 +702,19 @@ class RpcClient:
         attempts = 0
         self._calls.inc()
         tracer = self._tracer
-        span = tracer.span(
-            "rpc.call", "transport", method=method, server=server,
-        ) if tracer.enabled else NULL_SPAN
+        context = request.trace
+        if context is not None:
+            span = tracer.begin(
+                context, "rpc.call", "transport",
+                {"method": method, "server": server},
+            )
+            request.parent_span = span
+        elif tracer.enabled:
+            span = tracer.span(
+                "rpc.call", "transport", method=method, server=server,
+            )
+        else:
+            span = NULL_SPAN
         with span:
             while True:
                 yield from self.transport.sendto(
@@ -640,5 +766,8 @@ class RpcClient:
                 self._retransmits.inc()
             if attempts:
                 span.annotate(retransmits=attempts)
-        self._call_latency.observe(self.sim.now - started)
+        latency = self.sim.now - started
+        self._call_latency.observe(latency)
+        if context is not None and tracer.exemplars:
+            self._call_latency.exemplar(latency, context.trace_id)
         return response
