@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-micro bench-tables bench-report eval chaos overload scaleout georep trace profile docs examples all
+.PHONY: install test lint bench bench-micro bench-tables bench-report eval chaos overload scaleout georep verify-consistency trace profile docs examples all
 
 install:
 	pip install -e .
@@ -71,6 +71,16 @@ scaleout:
 georep:
 	python -m repro.eval e17
 	pytest tests/test_georep.py -q
+
+# E19 consistency verification: seeded chaos search over the sharded
+# and geo stacks with per-key linearizability checking, plus the
+# planted-bug demo (async caught, shrunk to a minimal schedule; quorum
+# and sync pass the identical plan). Output is byte-identical per seed,
+# including across PYTHONHASHSEED — CI diffs two hash seeds. The
+# verifier unit tests also run under tier-1 `make test`.
+verify-consistency:
+	python -m repro.eval e19
+	pytest tests/test_verify.py -q
 
 # Trace analysis: causal trace trees over a cross-region quorum
 # workload (showcase tree, top-N slowest flows, critical path). Output

@@ -65,6 +65,7 @@ from repro.eval.recovery import run_recovery
 from repro.eval.scaleout import run_scaleout
 from repro.eval.telemetry import run_telemetry
 from repro.eval.translation import run_translation
+from repro.eval.verify import run_verify
 
 #: Relative change on a directional metric that counts as a regression.
 REGRESSION_THRESHOLD = 0.20
@@ -324,6 +325,26 @@ def _georep_metrics(report) -> Dict[str, Metric]:
     }
 
 
+def _verify_metrics(report) -> Dict[str, Metric]:
+    by_mode = {outcome.mode: outcome for outcome in report.planted.outcomes}
+    caught = (not by_mode["async"].linearizable
+              and by_mode["quorum"].linearizable
+              and by_mode["sync"].linearizable)
+    return {
+        "schedules_clean": Metric(report.clean_schedules, HIGHER, "schedules"),
+        "schedules_total": Metric(len(report.schedules), INFO, "schedules"),
+        "history_ops": Metric(report.total_ops, INFO, "ops"),
+        "checker_states": Metric(report.checker_states, LOWER, "states"),
+        "planted_bug_caught": Metric(float(caught), HIGHER, "bool"),
+        "minimal_plan_specs": Metric(
+            report.planted.minimal_specs, LOWER, "specs"),
+        "shrink_runs": Metric(report.planted.shrink_runs, INFO, "runs"),
+        "replay_deterministic": Metric(
+            float(report.planted.replay_matches), HIGHER, "bool"),
+        "report_digest": Metric(0.0, INFO, _digest(report.canonical_bytes())),
+    }
+
+
 def _p2pdma_metrics(points) -> Dict[str, Metric]:
     hyperion = [p for p in points if p.path == "hyperion"]
     largest = max(hyperion, key=lambda p: p.transfer_size)
@@ -392,6 +413,8 @@ SPECS: Tuple[BenchSpec, ...] = (
               run_scaleout, _scaleout_metrics, seeded=True),
     BenchSpec("e17", "geo-replication: WAN log shipping + region-loss drill",
               run_georep, _georep_metrics, seeded=True),
+    BenchSpec("e19", "consistency verification: chaos search + shrinking",
+              run_verify, _verify_metrics, seeded=True),
     BenchSpec("p2p", "NIC->SSD bounce vs P2P DMA vs Hyperion",
               run_p2pdma, _p2pdma_metrics),
     BenchSpec("telemetry", "unified telemetry plane",

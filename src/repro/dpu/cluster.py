@@ -288,9 +288,14 @@ class FailoverKvClient:
         policy: Optional[RetryPolicy] = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_timeout: Optional[float] = None,
+        history=None,
     ):
         self.sim = sim
         self.cluster = cluster
+        self.name = name
+        #: Optional :class:`~repro.verify.HistoryRecorder`: when set,
+        #: every KV op records invoke/outcome for consistency checking.
+        self.history = history
         self.rpc = RpcClient(sim, UdpSocket(sim, network.endpoint(name)))
         self.timeout = timeout
         self.retries = retries
@@ -382,6 +387,8 @@ class FailoverKvClient:
         """Process: write the replica chain head-to-tail; one ack suffices
         for availability (skipped replicas are marked down for repair)."""
         key, value = bytes(key), bytes(value)
+        pending = (self.history.invoke(self.name, "w", key, value)
+                   if self.history is not None else None)
         acked = 0
         last_error: Optional[RpcError] = None
         for position, address in enumerate(self.cluster.replicas_of(key)):
@@ -402,14 +409,22 @@ class FailoverKvClient:
                 self.stats.failovers += 1
         if acked == 0:
             self.stats.failed_ops += 1
+            # Zero acks does not mean zero effect: a request may have
+            # landed on a replica whose response frame was lost.
+            if pending is not None:
+                pending.indeterminate()
             raise DegradedError(f"put {key!r}: no replica reachable ({last_error})")
         self.stats.writes += 1
+        if pending is not None:
+            pending.ok()
         return acked
 
     def get(self, key: bytes, expected_value_size: int = 128):
         """Process: read from the first live replica, failing over down
         the chain when the preferred one is dead."""
         key = bytes(key)
+        pending = (self.history.invoke(self.name, "r", key)
+                   if self.history is not None else None)
         last_error: Optional[RpcError] = None
         head = self.cluster.replicas_of(key)[0]
         for address in self._ordered_replicas(key):
@@ -429,13 +444,19 @@ class FailoverKvClient:
             if address != head:
                 self.stats.failovers += 1
             self.stats.reads += 1
+            if pending is not None:
+                pending.ok(value)
             return value
         self.stats.failed_ops += 1
+        if pending is not None:
+            pending.fail()
         raise DegradedError(f"get {key!r}: no replica reachable ({last_error})")
 
     def delete(self, key: bytes):
         """Process: chain-wide delete (same walk as put)."""
         key = bytes(key)
+        pending = (self.history.invoke(self.name, "d", key)
+                   if self.history is not None else None)
         acked = 0
         for address in self.cluster.replicas_of(key):
             try:
@@ -451,6 +472,10 @@ class FailoverKvClient:
             acked += 1
         if acked == 0:
             self.stats.failed_ops += 1
+            if pending is not None:
+                pending.indeterminate()
             raise DegradedError(f"delete {key!r}: no replica reachable")
         self.stats.writes += 1
+        if pending is not None:
+            pending.ok()
         return acked

@@ -34,6 +34,7 @@ from repro.eval.table1 import run_table1
 from repro.eval.telemetry import format_telemetry, run_telemetry
 from repro.eval.trace import format_trace, run_trace
 from repro.eval.translation import format_translation, run_translation
+from repro.eval.verify import format_verify, run_verify
 
 
 def _seeded(run, format_fn):
@@ -90,6 +91,9 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[Optional[int]], str]]] = {
             _seeded(run_scaleout, format_scaleout)),
     "e17": ("E17: geo-replication — WAN log shipping + region-loss drill",
             _seeded(run_georep, format_georep)),
+    "e19": ("E19: consistency verification — chaos search, linearizability, "
+            "shrinking",
+            _seeded(run_verify, format_verify)),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
             _unseeded(run_p2pdma, format_p2pdma)),
     "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",

@@ -147,6 +147,24 @@ class FaultPlan:
             window=(start, end),
         ))
 
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Compose two plans into a new one with a stable spec order.
+
+        The merged plan keeps ``self.seed`` (the injector keys each
+        spec's RNG on ``{seed}/{name}``, so layering more specs never
+        perturbs the draws of existing ones) and orders the union of
+        specs by name. Name-sorting makes the composition order
+        independent of which operand contributed which spec — merging
+        ``a.merge(b)`` and ``b.merge(a)`` yields the same schedule up to
+        the seed. Duplicate spec names are configuration errors.
+        """
+        merged = FaultPlan(seed=self.seed)
+        for spec in sorted(
+            list(self.specs) + list(other.specs), key=lambda s: s.name
+        ):
+            merged.add(spec)
+        return merged
+
     # -- introspection -------------------------------------------------------
     def specs_for(self, component: str, kind: FaultKind) -> List[FaultSpec]:
         return [

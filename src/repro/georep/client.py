@@ -55,6 +55,11 @@ class GeoKvClient:
             set, reads try the home follower first.
         retry_budget: optional shared cap on retransmissions, exported
             under this client's metric path.
+        history: optional :class:`~repro.verify.HistoryRecorder`; when
+            set, every op's invoke/outcome is recorded on the sim clock
+            for consistency checking. Failed writes record as
+            *indeterminate* (the ack was lost, the write may have
+            landed); follower reads record their served staleness.
     """
 
     def __init__(
@@ -75,11 +80,13 @@ class GeoKvClient:
         retry_budget: Optional[RetryBudget] = None,
         breaker_failures: int = 2,
         breaker_reset: float = 25e-3,
+        history=None,
     ):
         self.sim = sim
         self.cluster = cluster
         self.name = name
         self.home = home
+        self.history = history
         self.preference: List[str] = list(
             preference if preference is not None else cluster.regions
         )
@@ -198,22 +205,40 @@ class GeoKvClient:
     def put(self, key: bytes, value: bytes):
         """Process: write via the current region; returns (stamp, region)."""
         key, value = bytes(key), bytes(value)
-        region, stamp = yield from self._walk(
-            "geo.put", (key, value), 48 + len(key) + len(value), 24,
-            write=True,
-        )
+        pending = (self.history.invoke(self.name, "w", key, value)
+                   if self.history is not None else None)
+        try:
+            region, stamp = yield from self._walk(
+                "geo.put", (key, value), 48 + len(key) + len(value), 24,
+                write=True,
+            )
+        except DegradedError:
+            if pending is not None:
+                pending.indeterminate()
+            raise
         self._writes.inc()
         self._ops.inc()
+        if pending is not None:
+            pending.ok(stamp=stamp)
         return stamp, region
 
     def delete(self, key: bytes):
         """Process: delete via the current region; returns (stamp, region)."""
         key = bytes(key)
-        region, stamp = yield from self._walk(
-            "geo.delete", (key,), 48 + len(key), 24, write=True,
-        )
+        pending = (self.history.invoke(self.name, "d", key)
+                   if self.history is not None else None)
+        try:
+            region, stamp = yield from self._walk(
+                "geo.delete", (key,), 48 + len(key), 24, write=True,
+            )
+        except DegradedError:
+            if pending is not None:
+                pending.indeterminate()
+            raise
         self._writes.inc()
         self._ops.inc()
+        if pending is not None:
+            pending.ok(stamp=stamp)
         return stamp, region
 
     def get(self, key: bytes, *, max_staleness: Optional[float] = None):
@@ -226,23 +251,36 @@ class GeoKvClient:
         walk, so the bound is a guarantee, not a hint.
         """
         key = bytes(key)
+        pending = (self.history.invoke(self.name, "r", key)
+                   if self.history is not None else None)
         bound = max_staleness
         if bound is None and self.brownout is not None \
                 and self.brownout.serve_stale:
             bound = self.stale_bound
         if bound is not None and self.home != self.current:
-            value = yield from self._stale_get(key, bound)
-            if value is not _PRIMARY:
+            served = yield from self._stale_get(key, bound)
+            if served is not _PRIMARY:
+                value, staleness = served
+                if pending is not None:
+                    pending.ok(value, staleness=staleness)
                 return value
-        __, (value, __) = yield from self._walk(
-            "geo.get", (key,), 48 + len(key), 136, write=False,
-        )
+        try:
+            __, (value, __) = yield from self._walk(
+                "geo.get", (key,), 48 + len(key), 136, write=False,
+            )
+        except DegradedError:
+            if pending is not None:
+                pending.fail()
+            raise
         self._reads.inc()
         self._ops.inc()
+        if pending is not None:
+            pending.ok(value)
         return value
 
     def _stale_get(self, key: bytes, bound: float):
-        """Process: home-follower read; ``_PRIMARY`` means fall back."""
+        """Process: home-follower read. Returns ``(value, staleness)``,
+        or ``_PRIMARY`` when the primary walk must run instead."""
         breaker = self.breakers[self.home]
         if not breaker.allow():
             return _PRIMARY
@@ -266,7 +304,7 @@ class GeoKvClient:
             self.max_staleness_served = staleness
         self._reads.inc()
         self._ops.inc()
-        return value
+        return value, staleness
 
 
 #: Sentinel: the follower read declined and the primary walk must run.

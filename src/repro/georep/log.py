@@ -74,13 +74,18 @@ class ReplicationLog:
 
     def __init__(self, metrics: MetricScope):
         self.entries: List[LogEntry] = []
+        #: Sequence number of ``entries[0]``: everything below it has
+        #: been truncated after every peer acknowledged past it.
+        self.base = 0
         self._appended = metrics.counter("appended")
+        self._truncated = metrics.counter("truncated")
         self._head_gauge = metrics.gauge("head")
+        self._retained_gauge = metrics.gauge("retained")
 
     @property
     def head(self) -> int:
-        """Sequence number the next append will get (== len(entries))."""
-        return len(self.entries)
+        """Sequence number the next append will get."""
+        return self.base + len(self.entries)
 
     def append(self, op: str, key: bytes, value: Optional[bytes],
                stamp: float, origin: str, trace: Any = None) -> LogEntry:
@@ -88,8 +93,37 @@ class ReplicationLog:
         self.entries.append(entry)
         self._appended.inc()
         self._head_gauge.set(self.head)
+        self._retained_gauge.set(len(self.entries))
         return entry
+
+    def entry(self, seq: int) -> LogEntry:
+        """The retained entry with sequence number *seq*."""
+        if seq < self.base:
+            raise KeyError(f"log entry {seq} truncated (base={self.base})")
+        return self.entries[seq - self.base]
 
     def since(self, seq: int, limit: int) -> List[LogEntry]:
         """Up to *limit* entries starting at sequence number *seq*."""
-        return self.entries[seq:seq + limit]
+        if seq < self.base:
+            raise KeyError(
+                f"replication cursor {seq} below truncation base {self.base}"
+            )
+        at = seq - self.base
+        return self.entries[at:at + limit]
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop every entry with sequence number below *seq*.
+
+        The caller (the region, on peer acks) guarantees every shipper's
+        cursor and every peer's acknowledged high-water mark has passed
+        *seq*; truncating further than ``head`` is clamped. Returns the
+        number of entries dropped and counts them on ``truncated``.
+        """
+        drop = min(seq, self.head) - self.base
+        if drop <= 0:
+            return 0
+        del self.entries[:drop]
+        self.base += drop
+        self._truncated.inc(drop)
+        self._retained_gauge.set(len(self.entries))
+        return drop

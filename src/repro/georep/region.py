@@ -126,7 +126,7 @@ class LogShipper:
     def lag_seconds(self) -> float:
         if self.lag_entries <= 0:
             return 0.0
-        return self.sim.now - self.region.log.entries[self.shipped].stamp
+        return self.sim.now - self.region.log.entry(self.shipped).stamp
 
     def _update_lag(self) -> None:
         self._lag_entries.set(self.lag_entries)
@@ -307,6 +307,10 @@ class Region:
 
     def _on_peer_ack(self, peer: str, through: int) -> None:
         self.peer_acked[peer] = max(self.peer_acked[peer], through)
+        # Entries every peer has acknowledged can never be shipped again
+        # (every shipper cursor and dedup cursor is past them): reclaim
+        # them so a long-lived region's log stays bounded.
+        self.log.truncate_through(min(self.peer_acked.values()))
         for seq in sorted(self._ack_waiters):
             waiters = self._ack_waiters[seq]
             acked = sum(1 for mark in self.peer_acked.values() if mark > seq)

@@ -5,9 +5,10 @@ full per-call deadline (timeout + retries + backoff), and under load
 those stalled calls *are* the congestion — capacity wasted probing a
 corpse. The breaker counts consecutive failures; past the threshold it
 opens and every subsequent :meth:`allow` is an immediate, free ``False``
-until ``reset_timeout`` of simulated time has passed. Then it admits a
-bounded number of half-open probes: enough successes close it, any
-failure re-opens it.
+until ``reset_timeout`` of simulated time has passed. Then it admits
+half-open probes one at a time — a single probe in flight, so a storm
+of waiting callers cannot re-trip the breaker off its own traffic —
+and enough probe successes close it, any probe failure re-opens it.
 
 All transitions happen at simulated times and are appended to a
 transition log, so two same-seed runs produce byte-identical breaker
@@ -60,27 +61,21 @@ class CircuitBreaker:
         metrics: MetricScope,
         failure_threshold: int = 5,
         reset_timeout: float = 50e-3,
-        half_open_probes: int = 1,
         success_threshold: int = 1,
     ):
-        if failure_threshold < 1 or half_open_probes < 1 or success_threshold < 1:
+        if failure_threshold < 1 or success_threshold < 1:
             raise ConfigurationError("breaker thresholds must be >= 1")
-        if success_threshold > half_open_probes:
-            raise ConfigurationError(
-                "success_threshold cannot exceed half_open_probes"
-            )
         if reset_timeout <= 0:
             raise ConfigurationError("reset_timeout must be positive")
         self.clock = clock
         self._recorder = getattr(clock, "recorder", None)
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
-        self.half_open_probes = half_open_probes
         self.success_threshold = success_threshold
         self.state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
-        self._probes_in_flight = 0
+        self._probe_in_flight = False
         self._probe_successes = 0
         #: (time, from-state, to-state) — canonical per-seed history.
         self.transition_log: List[Tuple[float, str, str]] = []
@@ -117,7 +112,7 @@ class CircuitBreaker:
             self._opened_at = self.clock.now
         elif to is BreakerState.HALF_OPEN:
             self._half_opened.inc()
-            self._probes_in_flight = 0
+            self._probe_in_flight = False
             self._probe_successes = 0
         else:
             self._closed.inc()
@@ -141,9 +136,13 @@ class CircuitBreaker:
             else:
                 self._rejected.inc()
                 return False
-        # HALF_OPEN: admit a bounded number of concurrent probes.
-        if self._probes_in_flight < self.half_open_probes:
-            self._probes_in_flight += 1
+        # HALF_OPEN: exactly one probe in flight at a time. A storm of
+        # waiting callers must not all rush the recovering backend — the
+        # surge itself could re-fail the probe and re-trip the breaker
+        # off its own traffic. Everyone but the probe is refused until
+        # the probe's outcome comes back.
+        if not self._probe_in_flight:
+            self._probe_in_flight = True
             return True
         self._rejected.inc()
         return False
@@ -152,6 +151,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """Record a successful call; enough successes close a half-open breaker."""
         if self.state is BreakerState.HALF_OPEN:
+            self._probe_in_flight = False
             self._probe_successes += 1
             if self._probe_successes >= self.success_threshold:
                 self._transition(BreakerState.CLOSED)
@@ -167,6 +167,7 @@ class CircuitBreaker:
         """Record a failed call; enough failures trip the breaker open."""
         if self.state is BreakerState.HALF_OPEN:
             # A failed probe re-opens immediately: the backend is not back.
+            self._probe_in_flight = False
             self._transition(BreakerState.OPEN)
             return
         if self.state is BreakerState.CLOSED:

@@ -46,12 +46,25 @@ class ShardedKvClient:
         batch_limit: max ops coalesced into one wire request by the
             multi-key paths (clamped to the transport's
             :data:`~repro.transport.MAX_BATCH_OPS`).
+        timeout / retries / deadline: per-call wire timing for the
+            single-key ops. The defaults wait forever — right for a
+            healthy fabric; chaos runs set them so an op parked on a
+            blackholed DPU resolves as a *failed* (read) or
+            *indeterminate* (write) outcome instead of wedging its
+            client process.
+        history: optional :class:`~repro.verify.HistoryRecorder`; when
+            set, the single-key ops record invoke/outcome on the sim
+            clock for consistency checking.
     """
 
     def __init__(self, sim: Simulator, cluster: ShardedKvCluster,
                  name: str = "client", *,
                  cache: Optional[HotKeyCache] = None,
-                 batch_limit: int = 16):
+                 batch_limit: int = 16,
+                 timeout: Optional[float] = None,
+                 retries: int = 0,
+                 deadline: Optional[float] = None,
+                 history=None):
         if not 1 <= batch_limit <= MAX_BATCH_OPS:
             raise ConfigurationError(
                 f"batch_limit must be in 1..{MAX_BATCH_OPS}"
@@ -61,6 +74,10 @@ class ShardedKvClient:
         self.name = name
         self.cache = cache
         self.batch_limit = batch_limit
+        self.timeout = timeout
+        self.retries = retries
+        self.deadline = deadline
+        self.history = history
         self.rpc = RpcClient(
             sim, UdpSocket(sim, cluster.network.endpoint(f"shard-client-{name}"))
         )
@@ -92,45 +109,77 @@ class ShardedKvClient:
                 self._cache_served.inc()
                 return cached
         owner = self.cluster.owner_of(key)
-        value = yield from self.rpc.call(
-            owner, "kv.get", key,
-            request_size=32 + len(key), response_size=128,
-            priority=priority,
-        )
+        pending = (self.history.invoke(self.name, "r", key)
+                   if self.history is not None else None)
+        try:
+            value = yield from self.rpc.call(
+                owner, "kv.get", key,
+                request_size=32 + len(key), response_size=128,
+                priority=priority, timeout=self.timeout,
+                retries=self.retries, deadline=self.deadline,
+            )
+        except RpcError:
+            if pending is not None:
+                pending.fail()
+            raise
         self._ops.inc()
         self._round_trips.inc()
         if self.cache is not None and value is not None:
             self.cache.fill(key, value, epoch)
+        if pending is not None:
+            pending.ok(value)
         return value
 
     def put(self, key: bytes, value: bytes, *, priority: int = 0):
         """Process: write one key to its owner; invalidates the cache."""
         key, value = bytes(key), bytes(value)
         owner = self.cluster.owner_of(key)
-        yield from self.rpc.call(
-            owner, "kv.put", key, value,
-            request_size=32 + len(key) + len(value), response_size=16,
-            priority=priority,
-        )
+        pending = (self.history.invoke(self.name, "w", key, value)
+                   if self.history is not None else None)
+        try:
+            yield from self.rpc.call(
+                owner, "kv.put", key, value,
+                request_size=32 + len(key) + len(value), response_size=16,
+                priority=priority, timeout=self.timeout,
+                retries=self.retries, deadline=self.deadline,
+            )
+        except RpcError:
+            # The request (or only its ack) may have been lost: the
+            # write may have landed. Never record it as a clean failure.
+            if pending is not None:
+                pending.indeterminate()
+            raise
         self._ops.inc()
         self._round_trips.inc()
         if self.cache is not None:
             self.cache.invalidate(key)
+        if pending is not None:
+            pending.ok()
         return True
 
     def delete(self, key: bytes, *, priority: int = 0):
         """Process: delete one key at its owner; invalidates the cache."""
         key = bytes(key)
         owner = self.cluster.owner_of(key)
-        yield from self.rpc.call(
-            owner, "kv.delete", key,
-            request_size=32 + len(key), response_size=16,
-            priority=priority,
-        )
+        pending = (self.history.invoke(self.name, "d", key)
+                   if self.history is not None else None)
+        try:
+            yield from self.rpc.call(
+                owner, "kv.delete", key,
+                request_size=32 + len(key), response_size=16,
+                priority=priority, timeout=self.timeout,
+                retries=self.retries, deadline=self.deadline,
+            )
+        except RpcError:
+            if pending is not None:
+                pending.indeterminate()
+            raise
         self._ops.inc()
         self._round_trips.inc()
         if self.cache is not None:
             self.cache.invalidate(key)
+        if pending is not None:
+            pending.ok()
         return True
 
     # -- batched multi-key ops -------------------------------------------------

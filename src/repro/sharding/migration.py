@@ -22,7 +22,7 @@ already-moved keys, so mid-migration traffic pays at most one extra hop
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.sharding.cluster import ShardedKvCluster
@@ -89,15 +89,26 @@ class ShardMigrator:
         segment_keys: keys per handoff RPC (the migration granularity:
             smaller segments interleave better with foreground traffic,
             larger ones finish the migration sooner).
+        call_timeout / call_retries: per-RPC timeout and retransmit
+            budget for the control-plane calls (``shard.keys``,
+            ``shard.handoff``). The defaults wait forever — fine on a
+            healthy fabric, but a chaos run that blackholes the source
+            mid-handoff needs timeouts so the migration rides through
+            the outage on retransmits (``shard.handoff`` is idempotent:
+            re-sent segments skip keys already forwarded).
     """
 
     def __init__(self, sim: Simulator, cluster: ShardedKvCluster,
-                 segment_keys: int = DEFAULT_SEGMENT_KEYS):
+                 segment_keys: int = DEFAULT_SEGMENT_KEYS,
+                 call_timeout: Optional[float] = None,
+                 call_retries: int = 0):
         if segment_keys < 1:
             raise ConfigurationError("need at least one key per segment")
         self.sim = sim
         self.cluster = cluster
         self.segment_keys = segment_keys
+        self.call_timeout = call_timeout
+        self.call_retries = call_retries
         self.rpc = RpcClient(
             sim, UdpSocket(sim, cluster.network.endpoint("shard-migrator"))
         )
@@ -128,6 +139,7 @@ class ShardMigrator:
         """Process: fetch one DPU's resident-key work list."""
         keys = yield from self.rpc.call(
             address, "shard.keys", request_size=32, response_size=1024,
+            timeout=self.call_timeout, retries=self.call_retries,
         )
         return [bytes(key) for key in keys]
 
@@ -140,6 +152,7 @@ class ShardMigrator:
                 source, "shard.handoff", dest, tuple(segment),
                 request_size=64 + sum(16 + len(k) for k in segment),
                 response_size=16,
+                timeout=self.call_timeout, retries=self.call_retries,
             )
             moved += count
             segments += 1

@@ -1,0 +1,69 @@
+"""A bounded verification smoke run: ``python -m repro.verify``.
+
+The CI seed matrix calls this with a handful of seeds: one sharded and
+one geo chaos-search schedule plus the planted-bug detection (no
+shrinking — the full E19 run owns that), printed as canonical verdict
+lines. Exit status 0 means every verdict came out as the model
+predicts — searched schedules consistent, the planted async bug caught,
+quorum and sync clean on the identical schedule; 2 means a verdict
+went the wrong way, and the printed lines are the evidence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.verify import (
+    _planted_mode,
+    _run_geo_schedule,
+    _run_sharded_schedule,
+    PB_T_HEAL,
+    PB_T_KILL,
+    PRIMARY,
+    REGIONS,
+)
+from repro.georep import Consistency
+from repro.verify.nemesis import primary_kill_plan
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="bounded consistency-verification smoke run",
+    )
+    parser.add_argument("--seed", type=int, default=23,
+                        help="schedule seed (default 23)")
+    parser.add_argument("--schedules", type=int, default=1,
+                        help="chaos-search schedules per stack (default 1)")
+    options = parser.parse_args(argv)
+
+    failures = 0
+    for index in range(options.schedules):
+        verdict = _run_sharded_schedule(options.seed, index)
+        print(verdict.line())
+        if not verdict.clean:
+            failures += 1
+    for mode in (Consistency.QUORUM, Consistency.SYNC):
+        for index in range(options.schedules):
+            verdict = _run_geo_schedule(options.seed, index, mode)
+            print(verdict.line())
+            if not verdict.clean:
+                failures += 1
+
+    plan = primary_kill_plan(options.seed, REGIONS, PRIMARY,
+                             PB_T_KILL, PB_T_HEAL)
+    for mode in (Consistency.ASYNC, Consistency.QUORUM, Consistency.SYNC):
+        outcome = _planted_mode(plan, mode, options.seed)
+        print(outcome.line())
+        caught = not outcome.linearizable
+        if caught != (mode is Consistency.ASYNC):
+            failures += 1
+
+    verdict = "ok" if failures == 0 else f"FAILED ({failures} wrong verdicts)"
+    print(f"smoke seed={options.seed} {verdict}")
+    return 0 if failures == 0 else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

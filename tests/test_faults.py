@@ -69,6 +69,39 @@ class TestFaultPlan:
 
         assert build().describe() == build().describe()
 
+    def test_merge_is_order_independent(self):
+        # Name-sorting the union makes a.merge(b) and b.merge(a) the
+        # same schedule (up to the kept seed) — the property the
+        # nemesis leans on when layering plans.
+        def operands(seed):
+            a = FaultPlan(seed=seed)
+            a.once("b-power", "dpu-1", FaultKind.POWER_LOSS, at=1.0)
+            a.windowed("d-down", "dpu-2", FaultKind.NODE_DOWN, 2.0, 3.0)
+            b = FaultPlan(seed=seed)
+            b.once("a-seu", "slot0", FaultKind.SEU, at=0.5)
+            b.probabilistic("c-drop", "uplink", FaultKind.FRAME_DROP, 0.5)
+            return a, b
+
+        a, b = operands(9)
+        merged = a.merge(b)
+        assert [spec.name for spec in merged.specs] == [
+            "a-seu", "b-power", "c-drop", "d-down",
+        ]
+        a2, b2 = operands(9)
+        assert merged.describe() == b2.merge(a2).describe()
+
+    def test_merge_keeps_left_seed_and_rejects_duplicates(self):
+        a = FaultPlan(seed=1)
+        a.once("x", "c", FaultKind.SEU, at=1.0)
+        b = FaultPlan(seed=2)
+        b.once("y", "c", FaultKind.SEU, at=2.0)
+        assert a.merge(b).seed == 1
+        assert b.merge(a).seed == 2
+        dup = FaultPlan(seed=3)
+        dup.once("x", "other", FaultKind.SEU, at=3.0)
+        with pytest.raises(ConfigurationError):
+            a.merge(dup)
+
 
 def consult_storm(seed):
     """Drive one plan through a scripted consult sequence; return the log."""

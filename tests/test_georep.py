@@ -331,6 +331,55 @@ class TestDisasterRecovery:
         assert outcome == ["degraded"]
 
 
+class TestLogTruncation:
+    def test_log_reclaimed_once_every_peer_acked(self):
+        # A long-lived region's log must stay bounded: entries every
+        # peer has acknowledged past can never be shipped again, so the
+        # region reclaims them on peer acks and counts the drops.
+        sim = Simulator()
+        cluster = GeoCluster(sim, ("a", "b", "c"))
+        client = GeoKvClient(sim, cluster, "w", home="a")
+
+        def driver():
+            yield sim.timeout(1e-3)
+            for index in range(20):
+                yield from client.put(b"k%d" % (index % 5), b"v%d" % index)
+                yield sim.timeout(0.5e-3)
+
+        sim.process(driver())
+        sim.run(until=0.3)
+        drain(sim, cluster)
+        log = cluster.region("a").log
+        assert log.head >= 20
+        # Everything shipped and acked by both peers: fully reclaimed.
+        assert log.base == log.head
+        assert log.entries == []
+        assert log._truncated.value == log.head
+        # The replicas still hold the data the reclaimed entries carried.
+        for name in ("b", "c"):
+            got = sim.run_process(cluster.region(name).store.get(b"k4"))
+            assert got == b"v19"
+
+    def test_reads_below_truncation_base_rejected(self):
+        sim = Simulator()
+        cluster = GeoCluster(sim, ("a", "b"))
+        client = GeoKvClient(sim, cluster, "w", home="a")
+
+        def driver():
+            yield sim.timeout(1e-3)
+            yield from client.put(b"k", b"v")
+
+        sim.process(driver())
+        sim.run(until=0.2)
+        drain(sim, cluster)
+        log = cluster.region("a").log
+        assert log.base >= 1
+        with pytest.raises(KeyError):
+            log.entry(0)
+        with pytest.raises(KeyError):
+            log.since(0, 4)
+
+
 class TestDeterminism:
     def test_replication_telemetry_byte_identical(self):
         def run_once():

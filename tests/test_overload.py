@@ -272,25 +272,43 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state is BreakerState.OPEN
 
-    def test_half_open_probe_accounting(self):
+    def test_half_open_admits_a_single_probe(self):
+        """One probe in flight at a time: the storm of callers queued up
+        behind an open breaker must not rush the recovering backend all
+        at once and re-trip it off its own traffic."""
         sim = Simulator()
-        breaker = make_breaker(
-            sim, half_open_probes=2, success_threshold=2
-        )
+        breaker = make_breaker(sim, success_threshold=2)
         for __ in range(3):
             breaker.record_failure()
         advance(sim, 10e-3)
-        # The reset timeout admits a bounded number of probes...
+        # The reset timeout admits exactly one probe...
         assert breaker.allow()
         assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # the probe slot is taken
+        assert not breaker.allow()
+        assert breaker.rejected == 2
+        # ...its outcome frees the slot for the next sequential probe...
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
         assert breaker.allow()
-        assert not breaker.allow()  # both probe slots taken
-        assert breaker.rejected == 1
+        assert not breaker.allow()
         # ...and enough successes close the circuit again.
         breaker.record_success()
-        assert breaker.state is BreakerState.HALF_OPEN
-        breaker.record_success()
         assert breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_frees_the_slot_for_the_next_half_open(self):
+        sim = Simulator()
+        breaker = make_breaker(sim)
+        for __ in range(3):
+            breaker.record_failure()
+        advance(sim, 10e-3)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed -> OPEN again
+        assert breaker.state is BreakerState.OPEN
+        advance(sim, 10e-3)
+        # The next half-open round gets a fresh probe slot.
+        assert breaker.allow()
+        assert not breaker.allow()
 
     def test_failed_probe_reopens(self):
         sim = Simulator()
@@ -348,7 +366,7 @@ class TestCircuitBreaker:
         with pytest.raises(ConfigurationError):
             make_breaker(sim, reset_timeout=0.0)
         with pytest.raises(ConfigurationError):
-            make_breaker(sim, half_open_probes=1, success_threshold=2)
+            make_breaker(sim, success_threshold=0)
 
 
 def make_brownout(sim, dwell=2e-3, recovery=4e-3, rules=None):

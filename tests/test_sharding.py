@@ -355,6 +355,82 @@ def test_concurrent_churn_during_join_and_drain_never_fails():
     assert final == state
 
 
+def test_crash_during_migration_rides_through_and_loses_nothing():
+    # E19's satellite: kill a handoff source mid-`shard.handoff`. The
+    # migrator's timeout/retransmit budget must ride the outage out
+    # (handoff segments are idempotent — re-sent ones skip keys already
+    # forwarded), commit the epoch bump exactly once, and leave every
+    # key reachable with no acknowledged write lost.
+    sim = Simulator()
+    cluster = _sharded(sim, dpus=3)
+    keys = [f"key-{i:03d}".encode() for i in range(96)]
+    _preload(sim, cluster, keys)
+    migrator = ShardMigrator(sim, cluster, segment_keys=4,
+                             call_timeout=2e-3, call_retries=64)
+    client = ShardedKvClient(sim, cluster, name="crash",
+                             timeout=2.5e-3, retries=64)
+    victim = cluster.members()[0]
+    state = dict.fromkeys(keys, b"v0")
+    failures = []
+    stop = [False]
+    box = {}
+
+    def writer(worker):
+        rng = random.Random(f"crash/{worker}")
+        serial = 0
+        while not stop[0]:
+            key = keys[rng.randrange(len(keys))]
+            try:
+                if rng.random() < 0.4:
+                    value = f"w{worker}-{serial}".encode()
+                    serial += 1
+                    yield from client.put(key, value)
+                    state[key] = value
+                else:
+                    if (yield from client.get(key)) is None:
+                        failures.append(("lost", key))
+            except RpcError as error:
+                failures.append(("rpc", key, str(error)))
+
+    def control():
+        box["report"] = yield from migrator.add_dpu()
+        box["done_at"] = sim.now
+        stop[0] = True
+
+    def crash():
+        yield sim.timeout(0.5e-3)
+        cluster.network.switch.blackhole(victim)
+        yield sim.timeout(15e-3)
+        cluster.network.switch.restore(victim)
+        box["healed_at"] = sim.now
+
+    for worker in range(2):
+        sim.process(writer(worker))
+    sim.process(control())
+    sim.process(crash())
+    sim.run(until=1.0)
+    assert box.get("report"), "migration never completed"
+    report = box["report"]
+    assert report.direction == "join" and report.keys_moved > 0
+    assert report.epoch == cluster.epoch == 2
+    # The kill really landed mid-migration: completion waited for heal.
+    assert box["done_at"] > box["healed_at"]
+    assert failures == []
+    # Ownership and residency are coherent under the new epoch...
+    for address in cluster.members():
+        for key in cluster.resident_keys(address):
+            assert cluster.owner_of(key) == address
+    # ...and no key is unreachable, no acknowledged write lost.
+    final = {}
+
+    def verify():
+        values = yield from client.get_many(keys)
+        final.update(dict(zip(keys, values)))
+
+    sim.run_process(verify())
+    assert final == state
+
+
 def test_cache_invalidation_race_during_migration():
     # The satellite's coherence race: a value cached under the old
     # epoch must not be served after migration commits, even within
