@@ -1,15 +1,21 @@
-.PHONY: install test lint bench bench-micro bench-tables bench-report eval chaos overload scaleout georep verify-consistency trace profile docs examples all
+.PHONY: help install test lint bench bench-micro bench-tables bench-report eval chaos overload scaleout georep verify-consistency autoscale trace profile docs examples all
 
-install:
+# Annotated target list (## comments after a target become its help line).
+help:
+	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | \
+		sort | \
+		awk -F':.*## ' '{printf "  %-20s %s\n", $$1, $$2}'
+
+install:  ## editable install of the repro package
 	pip install -e .
 
-test:
+test:  ## tier-1 test suite (pytest tests/)
 	pytest tests/ -q
 
 # Lints with ruff when it is installed (CI installs it); a missing ruff
 # is skipped so offline dev containers still pass `make all`, but a real
 # lint failure always fails the target.
-lint:
+lint:  ## ruff over src/tests/benchmarks/examples (skipped if absent)
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
@@ -22,14 +28,14 @@ lint:
 #   - engine events/sec        zero-delay ticker swarm through the core
 #   - RPC round-trips/sec      echo calls over a UDP loopback pair
 #   - histogram observes/sec   Histogram.observe hot-path appends
-bench:
+bench:  ## pytest-benchmark micro timings
 	pytest benchmarks/ --benchmark-only -q
 
 # E18/SIM simulator-core micro-benchmarks (subset run; not published).
-bench-micro:
+bench-micro:  ## E18/SIM simulator-core micro-benchmarks (subset run)
 	python -m repro.bench sim
 
-bench-tables:
+bench-tables:  ## micro timings with full comparison tables
 	pytest benchmarks/ --benchmark-only -s
 
 # E14 continuous benchmark: run every experiment under the telemetry
@@ -38,37 +44,37 @@ bench-tables:
 # is a regression). Same seed => byte-identical artifact, except the
 # E18/SIM wall-clock metrics, whose within-gate jitter never writes a
 # new artifact (see repro/bench/__init__.py).
-bench-report:
+bench-report:  ## E14 continuous benchmark: publish + gate BENCH_<n>.json
 	python -m repro.bench --check
 
-eval:
+eval:  ## run every experiment and print the artifacts
 	python -m repro.eval
 
 # E13 chaos evaluation: replicated cluster under a scripted fault storm.
 # The fault-injection smoke tests also run under tier-1 `make test`
 # (tests/test_faults.py).
-chaos:
+chaos:  ## E13 chaos storm + fault-injection tests
 	python -m repro.eval e13
 	pytest tests/test_faults.py -q
 
 # E15 overload evaluation: an open-loop load ramp with the protection
 # stack (bounded queues, admission, breakers, brownout) off vs on. The
 # overload unit tests also run under tier-1 `make test`.
-overload:
+overload:  ## E15 overload protection stack off vs on + tests
 	python -m repro.eval e15
 	pytest tests/test_overload.py -q
 
 # E16 scale-out evaluation: goodput vs DPU count with/without
 # batching+cache, plus a live scale-out event (zero failed ops). The
 # sharding unit tests also run under tier-1 `make test`.
-scaleout:
+scaleout:  ## E16 scale-out data plane sweep + sharding tests
 	python -m repro.eval e16
 	pytest tests/test_sharding.py -q
 
 # E17 geo-replication evaluation: consistency-mode sweep plus the
 # region-loss disaster drill (RPO/RTO, zero lost acked writes). The
 # georep unit tests also run under tier-1 `make test`.
-georep:
+georep:  ## E17 geo-replication sweep + disaster drill + tests
 	python -m repro.eval e17
 	pytest tests/test_georep.py -q
 
@@ -78,32 +84,43 @@ georep:
 # and sync pass the identical plan). Output is byte-identical per seed,
 # including across PYTHONHASHSEED — CI diffs two hash seeds. The
 # verifier unit tests also run under tier-1 `make test`.
-verify-consistency:
+verify-consistency:  ## E19 linearizability chaos search + verifier tests
 	python -m repro.eval e19
 	pytest tests/test_verify.py -q
+
+# E20 traffic-plane evaluation: the repro.workload generators drive a
+# daily diurnal curve at three fleet shapes (static-min, static-peak,
+# SLO-driven autoscaling); the autoscaled run must hold p99 with fewer
+# DPU-seconds than static peak. Output is byte-identical per seed,
+# including across PYTHONHASHSEED — CI diffs two hash seeds. The
+# workload unit tests also run under tier-1 `make test`. Operator
+# handbook: docs/WORKLOADS.md.
+autoscale:  ## E20 traffic plane: SLO-driven autoscaling + workload tests
+	python -m repro.eval e20
+	pytest tests/test_workload.py -q
 
 # Trace analysis: causal trace trees over a cross-region quorum
 # workload (showcase tree, top-N slowest flows, critical path). Output
 # is byte-identical per seed, including across PYTHONHASHSEED — CI
 # diffs two hash seeds against each other.
-trace:
+trace:  ## causal trace-tree analysis over a quorum workload
 	python -m repro.eval trace
 
 # Simulator hot-spot profile: cProfile over a scaled-down E16 (1 and 2
 # DPU sweep points), top-20 cumulative. Start perf PRs here.
-profile:
+profile:  ## cProfile hot-spot report over a scaled-down E16
 	python tools/profile_sim.py
 
 # Documentation hygiene: markdown link check + doctest'd examples
 # (mirrors the CI docs job).
-docs:
+docs:  ## markdown link check + doctest examples (CI docs job)
 	python tools/check_links.py README.md DESIGN.md EXPERIMENTS.md docs
-	pytest --doctest-modules src/repro/sharding -q
+	pytest --doctest-modules src/repro/sharding src/repro/workload -q
 
-examples:
+examples:  ## run every examples/*.py end to end
 	@for ex in examples/*.py; do \
 		echo "== $$ex =="; \
 		python $$ex || exit 1; \
 	done
 
-all: lint test bench
+all: lint test bench  ## lint + test + bench

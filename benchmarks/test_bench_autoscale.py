@@ -1,0 +1,48 @@
+"""E20 bench: the traffic plane closes the loop — telemetry to topology.
+
+The paper's fleet argument (§2's "CPUs spend cycles shuffling bytes";
+§3's blueprint of DPUs as first-class, individually provisionable
+servers) only pays off if capacity can follow demand without a host in
+the loop. Expected shape: under a compressed diurnal day, a static
+trough-sized fleet breaches its p99 objective for a sizeable slice of
+the day; a static peak-sized fleet holds the SLO but burns idle
+DPU-seconds overnight; and the SLO-driven autoscaler tracks the curve —
+scale-out on sustained breach, drain on sustained idle — landing within
+2x of static-peak's worst-window p99 at materially fewer DPU-seconds.
+"""
+
+from conftest import emit
+
+from repro.eval.autoscale import P99_FACTOR, format_autoscale, run_autoscale
+
+
+def test_bench_autoscale_tracks_the_daily_curve(benchmark):
+    report = benchmark.pedantic(run_autoscale, rounds=1, iterations=1)
+    emit(format_autoscale(report))
+    auto = report.variant("autoscaled")
+    peak = report.variant("static-peak")
+    low = report.variant("static-min")
+    # All three strategies served the identical arrival stream.
+    assert auto.offered == peak.offered == low.offered > 0
+    # Under-provisioning shows: static-min breaches much more than peak.
+    assert low.breach_fraction > 5 * peak.breach_fraction
+    assert low.failed > peak.failed
+    # The autoscaler actually moved the fleet, both directions.
+    assert auto.scale_outs >= 1
+    assert auto.drains >= 1
+    assert auto.dpus_max > auto.dpus_start
+    # The acceptance claim: cheaper than peak, p99 within the factor.
+    assert report.capacity_ratio < 1.0
+    assert report.p99_ratio <= P99_FACTOR
+    assert report.accepted
+    # Event log is present and canonical (decide precedes done).
+    log = report.autoscale_log.decode()
+    assert log.index("decide scale-out") < log.index("scale-out done")
+
+
+def test_bench_autoscale_report_is_deterministic(benchmark):
+    report = benchmark.pedantic(run_autoscale, rounds=1, iterations=1)
+    emit(format_autoscale(report))
+    again = run_autoscale(seed=report.seed)
+    assert again.canonical_bytes() == report.canonical_bytes()
+    assert again.telemetry == report.telemetry

@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bench.micro import run_micro
 from repro.eval.analytics import run_analytics
+from repro.eval.autoscale import run_autoscale
 from repro.eval.chaos import run_chaos
 from repro.eval.compiler import run_compiler
 from repro.eval.corfu import run_corfu
@@ -325,6 +326,28 @@ def _georep_metrics(report) -> Dict[str, Metric]:
     }
 
 
+def _autoscale_metrics(report) -> Dict[str, Metric]:
+    auto = report.variant("autoscaled")
+    peak = report.variant("static-peak")
+    low = report.variant("static-min")
+    return {
+        "capacity_ratio": Metric(report.capacity_ratio, LOWER, "x"),
+        "p99_vs_peak": Metric(report.p99_ratio, LOWER, "x"),
+        "auto_goodput": Metric(auto.goodput, HIGHER, "req/s"),
+        "auto_worst_window_p99_s": Metric(
+            auto.worst_window_p99, LOWER, "s"),
+        "auto_breach_fraction": Metric(auto.breach_fraction, LOWER, "frac"),
+        "peak_breach_fraction": Metric(peak.breach_fraction, INFO, "frac"),
+        "min_breach_fraction": Metric(low.breach_fraction, INFO, "frac"),
+        "auto_dpu_seconds": Metric(auto.dpu_seconds, LOWER, "s"),
+        "scale_outs": Metric(auto.scale_outs, INFO, "count"),
+        "drains": Metric(auto.drains, INFO, "count"),
+        "accepted": Metric(1.0 if report.accepted else 0.0, HIGHER, "bool"),
+        "report_digest": Metric(0.0, INFO, _digest(report.canonical_bytes())),
+        "telemetry_digest": Metric(0.0, INFO, _digest(report.telemetry)),
+    }
+
+
 def _verify_metrics(report) -> Dict[str, Metric]:
     by_mode = {outcome.mode: outcome for outcome in report.planted.outcomes}
     caught = (not by_mode["async"].linearizable
@@ -415,6 +438,8 @@ SPECS: Tuple[BenchSpec, ...] = (
               run_georep, _georep_metrics, seeded=True),
     BenchSpec("e19", "consistency verification: chaos search + shrinking",
               run_verify, _verify_metrics, seeded=True),
+    BenchSpec("e20", "traffic plane: SLO-driven autoscaling vs static fleets",
+              run_autoscale, _autoscale_metrics, seeded=True),
     BenchSpec("p2p", "NIC->SSD bounce vs P2P DMA vs Hyperion",
               run_p2pdma, _p2pdma_metrics),
     BenchSpec("telemetry", "unified telemetry plane",

@@ -8,6 +8,8 @@ Usage::
     python -m repro.bench --output-dir out  # artifact directory (default: .)
     python -m repro.bench --list            # registered experiments
     python -m repro.bench e12 e13           # subset (not published)
+    python -m repro.bench e20               # traffic plane / autoscaling
+                                            # (report: `make autoscale`)
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ import sys
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.eval.analytics import format_analytics, run_analytics
+from repro.eval.autoscale import format_autoscale, run_autoscale
 from repro.eval.chaos import format_chaos, run_chaos
 from repro.eval.compiler import format_compiler, run_compiler
 from repro.eval.corfu import format_corfu, run_corfu
@@ -94,6 +95,9 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[Optional[int]], str]]] = {
     "e19": ("E19: consistency verification — chaos search, linearizability, "
             "shrinking",
             _seeded(run_verify, format_verify)),
+    "e20": ("E20: traffic plane — manual vs SLO-driven capacity under a "
+            "daily curve",
+            _seeded(run_autoscale, format_autoscale)),
     "p2p": ("EXT: NIC->SSD bounce vs P2P DMA vs Hyperion",
             _unseeded(run_p2pdma, format_p2pdma)),
     "telemetry": ("TEL: unified telemetry plane — traced KV get + registry",

@@ -25,6 +25,7 @@ from repro.common.errors import ConfigurationError
 from repro.hw.net import Network
 from repro.hw.nvme import Namespace, NvmeController
 from repro.overload.admission import Priority
+from repro.overload.queues import QueuePolicy
 from repro.sharding.ring import DEFAULT_VNODES, HashRing
 from repro.sim import Event, Simulator
 from repro.storage.kvssd import KvSsd
@@ -278,6 +279,16 @@ class ShardedKvCluster:
             workers drain it — the wimpy-core service model E16 scales.
         workers: worker processes per bounded server (min 2 so client
             traffic still flows while a worker performs a handoff).
+        queue_policy: drop discipline for the bounded per-DPU queue
+            (:class:`~repro.overload.QueuePolicy`). FIFO refuses at the
+            tail when full; CODEL additionally drops requests whose
+            sojourn exceeds ``codel_target`` for ``codel_interval`` —
+            the overload-plane knob that keeps *served* latency bounded
+            when an open-loop ramp outruns the fleet (E20 relies on it
+            so an SLO breach reads as shed work, not unbounded p99).
+        codel_target / codel_interval: CoDel tuning, forwarded to each
+            DPU's :class:`~repro.transport.RpcServer`; ignored for
+            FIFO/LIFO queues.
         name: address prefix for this cluster's DPUs (``{name}-dpu-N``).
             The default keeps single-cluster deployments unchanged; a
             geo-replicated deployment gives each region a distinct name
@@ -287,6 +298,8 @@ class ShardedKvCluster:
     def __init__(self, sim: Simulator, network: Network, dpu_count: int = 4,
                  ssd_blocks: int = 16384, vnodes: int = DEFAULT_VNODES,
                  queue_capacity: Optional[int] = None, workers: int = 2,
+                 queue_policy: QueuePolicy = QueuePolicy.FIFO,
+                 codel_target: float = 5e-3, codel_interval: float = 10e-3,
                  name: str = "shard"):
         if dpu_count < 1:
             raise ConfigurationError("need at least one DPU")
@@ -303,6 +316,9 @@ class ShardedKvCluster:
         self.ssd_blocks = ssd_blocks
         self.queue_capacity = queue_capacity
         self.workers = workers
+        self.queue_policy = queue_policy
+        self.codel_target = codel_target
+        self.codel_interval = codel_interval
         self.ring = HashRing(vnodes=vnodes)
         #: Monotonic routing-topology version; bumped by the migrator.
         self.epoch = 1
@@ -335,6 +351,9 @@ class ShardedKvCluster:
         server = RpcServer(
             self.sim, UdpSocket(self.sim, self.network.endpoint(address)),
             queue_capacity=self.queue_capacity, workers=self.workers,
+            queue_policy=self.queue_policy,
+            codel_target=self.codel_target,
+            codel_interval=self.codel_interval,
         )
         forwarder = ShardForwarder(self.sim, self.network, address, device,
                                    server)

@@ -22,7 +22,7 @@ already-moved keys, so mid-migration traffic pays at most one extra hop
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.sharding.cluster import ShardedKvCluster
@@ -118,6 +118,12 @@ class ShardMigrator:
         self._segments = self._metrics.counter("segments")
         self._recorder = getattr(sim, "recorder", None)
         self.reports: List[MigrationReport] = []
+        #: Completion hooks: each callable receives the finished
+        #: :class:`MigrationReport` synchronously, at the simulated
+        #: instant the topology change commits. This is the
+        #: control-plane surface autoscalers and tests subscribe to —
+        #: hooks run in registration order and must not raise.
+        self.on_migration: List[Callable[[MigrationReport], None]] = []
 
     def _traced(self, process):
         """Run a topology change as its own trace flow when sampled.
@@ -246,4 +252,6 @@ class ShardMigrator:
         self.reports.append(report)
         if self._recorder is not None:
             self._recorder.record("migration", report.line())
+        for hook in self.on_migration:
+            hook(report)
         return report

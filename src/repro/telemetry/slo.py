@@ -154,6 +154,13 @@ class SloMonitor:
         self._recorder = getattr(sampler.clock, "recorder", None)
         self.rules: List[SloRule] = []
         self.alerts: List[SloAlert] = []
+        #: Alert hooks: each callable receives every :class:`SloAlert`
+        #: (firing *and* resolved) synchronously, on the sampler tick
+        #: that produced it. This is the SLO→action wiring surface —
+        #: autoscalers, brownout escalators, and pagers subscribe here
+        #: instead of polling :attr:`alerts`. Hooks run in registration
+        #: order and must not raise.
+        self.on_alert: List[Callable[[SloAlert], None]] = []
         self._violating_since: Dict[str, Optional[float]] = {}
         self._firing: Dict[str, bool] = {}
         for rule in rules:
@@ -193,6 +200,8 @@ class SloMonitor:
                     self.alerts.append(alert)
                     if self._recorder is not None:
                         self._recorder.record("slo", alert.line())
+                    for hook in self.on_alert:
+                        hook(alert)
                 self._firing[rule.name] = False
                 self._violating_since[rule.name] = None
                 continue
@@ -210,6 +219,8 @@ class SloMonitor:
                     # snapshot a post-mortem before the rings roll on.
                     self._recorder.record("slo", alert.line())
                     self._recorder.dump(f"slo-firing:{rule.name}")
+                for hook in self.on_alert:
+                    hook(alert)
 
     # -- reading -------------------------------------------------------------
     @property
